@@ -1,0 +1,57 @@
+"""Fig. 13: power estimation — estimated vs measured target power.
+
+For the four estimation apps and both host GPUs: the power a meter on
+the Tegra K1 board would read (reference model, including DRAM interface
+energy) against the Eq. (6) estimate built from host profiles.  The
+paper's claim: "within about 10% of the actual values".
+"""
+
+import pytest
+
+from repro.analysis import fig13_series, render_table
+
+
+@pytest.fixture(scope="module")
+def power_points():
+    return fig13_series()
+
+
+def test_fig13_regeneration(benchmark, power_points, record_result):
+    from repro.gpu import QUADRO_4000
+
+    points = benchmark.pedantic(
+        fig13_series,
+        kwargs={"hosts": (QUADRO_4000,), "apps": ("matrixMul",)},
+        rounds=1, iterations=1,
+    )
+    assert len(points) == 1
+    record_result(
+        "fig13",
+        render_table(
+            ["Host", "App", "Measured (W)", "Estimate P (W)", "Error (%)"],
+            [
+                (p.host, p.app, p.measured_w, p.estimated_w, p.error_pct)
+                for p in power_points
+            ],
+            title="Fig 13: target power, measured vs estimated (Tegra K1)",
+        ),
+    )
+
+
+def test_fig13_estimates_within_ten_percent(power_points):
+    for point in power_points:
+        assert abs(point.error_pct) <= 12.0, (point.host, point.app)
+
+
+def test_fig13_power_magnitudes_are_embedded_scale(power_points):
+    """A Tegra K1 board draws single-digit watts under GPU load."""
+    for point in power_points:
+        assert 1.0 < point.measured_w < 12.0, (point.host, point.app)
+
+
+def test_fig13_consistent_across_hosts(power_points):
+    by_app = {}
+    for point in power_points:
+        by_app.setdefault(point.app, []).append(point.estimated_w)
+    for app, values in by_app.items():
+        assert abs(values[0] - values[1]) / values[0] < 0.05, app

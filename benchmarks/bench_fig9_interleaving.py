@@ -1,0 +1,60 @@
+"""Fig. 9: Kernel Interleaving — measured vs expected speedups.
+
+(a) Two interleaved programs, kernel length swept against a fixed
+    13.44 ms memory copy; expected values from Eq. (7).
+(b) N interleaved programs with Tk = Tm; expected speedup 3N/(N+2)
+    from Eq. (8), approaching 3x.
+"""
+
+import pytest
+
+from repro.analysis import fig9a_series, fig9b_series, render_series
+from repro.core.interleaving import balanced_speedup
+
+
+def test_fig9a_kernel_length_sweep(benchmark, record_result):
+    points = benchmark.pedantic(fig9a_series, rounds=1, iterations=1)
+    record_result(
+        "fig9a",
+        render_series(
+            "Fig 9(a): interleaving speedup vs kernel length (Tm = 13.44 ms)",
+            [f"{p.x:.2f}" for p in points],
+            [
+                ("Results", [p.measured for p in points]),
+                ("Expected (Eq.7)", [p.expected for p in points]),
+            ],
+            x_label="kernel ms",
+        ),
+    )
+    # Measured tracks expected across the sweep.  Short kernels run a
+    # little above Eq. (7): the serial baseline also pays per-job fixed
+    # costs the closed form ignores.
+    for point in points:
+        assert point.measured == pytest.approx(point.expected, rel=0.15, abs=0.35)
+    # The peak sits at the latency-hiding sweet spot Tk ~= Tm.
+    peak = max(points, key=lambda p: p.measured)
+    assert 8.0 <= peak.x <= 25.0
+
+
+def test_fig9b_program_count_sweep(benchmark, record_result):
+    points = benchmark.pedantic(fig9b_series, rounds=1, iterations=1)
+    record_result(
+        "fig9b",
+        render_series(
+            "Fig 9(b): interleaving speedup vs number of programs (Tk = Tm)",
+            [int(p.x) for p in points],
+            [
+                ("Results", [p.measured for p in points]),
+                ("Expected (Eq.8)", [p.expected for p in points]),
+            ],
+            x_label="N",
+        ),
+    )
+    for point in points:
+        assert point.measured == pytest.approx(
+            balanced_speedup(int(point.x)), rel=0.08
+        )
+    # Monotone growth toward the 3x asymptote.
+    speedups = [p.measured for p in points]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.5

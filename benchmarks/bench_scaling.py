@@ -1,0 +1,73 @@
+"""Scalability benches: VP count and host-GPU count sweeps.
+
+Beyond the paper's fixed 8-VP setup: how does simulation time grow with
+the fleet size, and how much does a second host GPU (the Grid K520 board
+carries two) buy back?
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import SHARED_MEMORY, SigmaVP
+from repro.workloads.synthetic import make_phase_workload
+
+
+def _run(n_vps: int, n_gpus: int, spec) -> float:
+    framework = SigmaVP(
+        n_vps=n_vps,
+        n_host_gpus=n_gpus,
+        transport=SHARED_MEMORY,
+        coalescing=False,
+    )
+    return framework.run_workload(spec)
+
+
+def test_scaling_with_vp_count(benchmark, record_result):
+    spec = make_phase_workload(t_kernel_ms=4.0, t_copy_ms=2.0, iterations=2)
+
+    def sweep():
+        return {n: _run(n, 1, spec) for n in (1, 2, 4, 8, 16)}
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (n, total, total / totals[1])
+        for n, total in sorted(totals.items())
+    ]
+    record_result(
+        "scaling_vps",
+        render_table(
+            ["VPs", "Total (ms)", "vs 1 VP"],
+            rows,
+            title="Scaling: fleet size on one host GPU (interleaved)",
+        ),
+    )
+    # Interleaving keeps growth sublinear: 16 VPs cost far less than
+    # 16x one VP.
+    assert totals[16] < 10 * totals[1]
+    # And more VPs never finish sooner.
+    values = [totals[n] for n in (1, 2, 4, 8, 16)]
+    assert values == sorted(values)
+
+
+def test_scaling_with_host_gpus(benchmark, record_result):
+    spec = make_phase_workload(t_kernel_ms=6.0, t_copy_ms=1.0, iterations=2)
+
+    def sweep():
+        return {g: _run(8, g, spec) for g in (1, 2, 4)}
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (g, total, totals[1] / total)
+        for g, total in sorted(totals.items())
+    ]
+    record_result(
+        "scaling_gpus",
+        render_table(
+            ["Host GPUs", "Total (ms)", "Speedup"],
+            rows,
+            title="Scaling: host GPUs for 8 VPs (compute-bound loop)",
+        ),
+    )
+    # A second device buys a solid chunk of the compute-bound time back.
+    assert totals[2] < totals[1] * 0.7
+    assert totals[4] <= totals[2]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, and archives the rendered text under ``benchmarks/results/``
+so a run leaves a complete paper-vs-measured record behind.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print a rendered table/series and archive it to results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

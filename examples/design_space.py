@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Design-space exploration: choosing the embedded GPU configuration.
+
+The paper's opening motivation: multi-VP simulation "enables many
+important design decisions as part of the process of exploring the
+design space of the target systems".  This example plays the designer:
+given a workload, profile it *once* on the host GPU, then predict
+execution time and power for a family of candidate Tegra-K1-derived
+targets (SMX count x clock), and print the time/power Pareto front.
+
+Run:  python examples/design_space.py [workload]
+"""
+
+import sys
+
+from repro.analysis import (
+    pareto_front,
+    render_table,
+    sweep_targets,
+    tegra_scaling_candidates,
+)
+from repro.workloads import SUITE, get_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "dct8x8"
+    if app not in SUITE:
+        raise SystemExit(f"unknown workload {app!r}; choose from {sorted(SUITE)}")
+    spec = get_workload(app)
+
+    candidates = tegra_scaling_candidates(
+        sm_counts=(1, 2, 4), clocks_mhz=(652.0, 752.0, 852.0)
+    )
+    points = sweep_targets(spec, candidates)
+    front = {p.name for p in pareto_front(points)}
+
+    print(render_table(
+        ["Candidate target", "Time (ms)", "Power (W)", "Energy (mJ)",
+         "EDP", "Pareto"],
+        [
+            (p.name, p.estimated_time_ms, p.estimated_power_w,
+             p.energy_mj, p.energy_delay_product,
+             "*" if p.name in front else "")
+            for p in sorted(points, key=lambda p: p.estimated_time_ms)
+        ],
+        title=f"Design-space exploration for {spec.name} "
+              "(one host profiling run, Section-4 estimation)",
+    ))
+    best_edp = min(points, key=lambda p: p.energy_delay_product)
+    print(f"\nlowest energy-delay product: {best_edp.name} "
+          f"(EDP {best_edp.energy_delay_product:.2f} mJ*ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Estimating embedded-GPU time and power from host profiles.
+
+The paper's Section 4 use case: a designer wants to know how a kernel
+will perform on a Tegra K1 *before* having the board.  SigmaVP executes
+the kernel on the host GPU, reads the profiler, compiles the kernel for
+the target, and derives three increasingly-refined cycle estimates
+(C, C', C'') plus an Eq.-6 power estimate.
+
+This example runs the flow for the paper's four estimation apps on both
+host GPUs and prints Fig.-12/13-style tables, including the reference
+("measured") values from the target model.
+
+Run:  python examples/target_estimation.py
+"""
+
+from repro.analysis import render_table
+from repro.core.estimation import ExecutionAnalyzer
+from repro.gpu import GRID_K520, QUADRO_4000, TEGRA_K1
+from repro.workloads import get_workload
+from repro.workloads.catalog import ESTIMATION_APPS
+
+
+def main() -> None:
+    for host in (QUADRO_4000, GRID_K520):
+        analyzer = ExecutionAnalyzer(host, TEGRA_K1)
+        timing_rows = []
+        power_rows = []
+        for app in ESTIMATION_APPS:
+            spec = get_workload(app)
+            kernel, launch = spec.kernel, spec.launch_config()
+
+            # Step 1-2 (Fig. 7): compile for both targets, execute on
+            # the host GPU, and collect the profile.
+            host_profile = analyzer.profile_on_host(kernel, launch)
+
+            # Step 3-4: derive the target estimates.
+            estimate = analyzer.analyze(kernel, launch, host_profile=host_profile)
+            truth = analyzer.observe_on_target(kernel, launch)
+            as_ms = analyzer.estimated_time_ms
+            timing_rows.append((
+                app,
+                host_profile.time_ms,
+                truth.time_ms,
+                as_ms(estimate.c_cycles),
+                as_ms(estimate.c_prime_cycles),
+                as_ms(estimate.c_double_prime_cycles),
+            ))
+
+            # Step 5: power from the expected execution profile (Eq. 6).
+            measured = analyzer.observed_power(kernel, launch)
+            predicted = analyzer.estimate_power(
+                kernel, launch, host_profile=host_profile
+            )
+            power_rows.append((
+                app, measured.total_w, predicted.total_w,
+                f"{100 * (predicted.total_w - measured.total_w) / measured.total_w:+.1f}%",
+            ))
+
+        print(render_table(
+            ["App", "Host (ms)", "Target (ms)", "C (ms)", "C' (ms)", "C'' (ms)"],
+            timing_rows,
+            title=f"Timing estimation via {host.name} (target: Tegra K1)",
+        ))
+        print()
+        print(render_table(
+            ["App", "Measured (W)", "Estimate P (W)", "Error"],
+            power_rows,
+            title=f"Power estimation via {host.name} (target: Tegra K1)",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Experiment regeneration: the paper's tables and figures as code."""
+
+from .accounting import (
+    JobLatency,
+    VPAccount,
+    job_latencies,
+    kind_breakdown,
+    render_accounting,
+    vp_accounts,
+)
+from .figures import (
+    CoalescingPoint,
+    EstimationPoint,
+    FIG11_APPS,
+    InterleavingPoint,
+    PAPER_FIG10A,
+    PowerPoint,
+    StaircasePoint,
+    SuitePoint,
+    fig9a_series,
+    fig9b_series,
+    fig10a_series,
+    fig10b_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+)
+from .report_builder import build_report, write_report
+from .reporting import render_series, render_table
+from .sweeps import (
+    DesignPoint,
+    derive_architecture,
+    pareto_front,
+    sweep_targets,
+    tegra_scaling_candidates,
+)
+from .tables import PAPER_TABLE1, Table1Row, build_table1, render_table1
+from .timeline import Timeline, collect_timeline, render_gantt
+from .validation import ValidationResult, validate_suite, validate_workload
+
+__all__ = [
+    "CoalescingPoint",
+    "EstimationPoint",
+    "FIG11_APPS",
+    "InterleavingPoint",
+    "PAPER_FIG10A",
+    "PAPER_TABLE1",
+    "PowerPoint",
+    "StaircasePoint",
+    "SuitePoint",
+    "Table1Row",
+    "Timeline",
+    "DesignPoint",
+    "ValidationResult",
+    "JobLatency",
+    "VPAccount",
+    "build_report",
+    "job_latencies",
+    "kind_breakdown",
+    "render_accounting",
+    "vp_accounts",
+    "build_table1",
+    "collect_timeline",
+    "derive_architecture",
+    "pareto_front",
+    "render_gantt",
+    "sweep_targets",
+    "tegra_scaling_candidates",
+    "validate_suite",
+    "validate_workload",
+    "write_report",
+    "fig9a_series",
+    "fig9b_series",
+    "fig10a_series",
+    "fig10b_series",
+    "fig11_series",
+    "fig12_series",
+    "fig13_series",
+    "render_series",
+    "render_table",
+    "render_table1",
+]

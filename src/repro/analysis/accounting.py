@@ -1,0 +1,140 @@
+"""Latency accounting: where a simulation's time actually went.
+
+Every job carries three timestamps — submitted (reached the host
+queue), dispatched (left the queue), completed — so a finished run can
+be decomposed per VP and per job kind into **queue wait** (scheduling
+and coalescing holds) versus **service** (engine/host execution), next
+to the guest-side CPU time the platform itself recorded.  This is the
+diagnostic view behind claims like "the suite is IPC-bound at small
+kernels": it shows, not guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.framework import SigmaVP
+from ..core.jobs import Job, JobKind
+from .reporting import render_table
+
+
+@dataclass(frozen=True)
+class JobLatency:
+    """One job's decomposed latency."""
+
+    vp: str
+    kind: JobKind
+    queue_wait_ms: float
+    service_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.queue_wait_ms + self.service_ms
+
+
+@dataclass
+class VPAccount:
+    """One VP's aggregate accounting."""
+
+    vp: str
+    jobs: int = 0
+    queue_wait_ms: float = 0.0
+    service_ms: float = 0.0
+    guest_cpu_ms: float = 0.0
+    elapsed_ms: Optional[float] = None
+
+    @property
+    def host_total_ms(self) -> float:
+        return self.queue_wait_ms + self.service_ms
+
+
+def job_latencies(dispatcher) -> List[JobLatency]:
+    """Per-job latency decomposition from the dispatcher's log.
+
+    Members of merged jobs inherit the merged job's dispatch point (they
+    were absorbed, not individually dispatched); their queue wait runs
+    from their own submission to that dispatch.
+    """
+    latencies: List[JobLatency] = []
+    dispatch_point: Dict[int, float] = {}
+    for job in dispatcher.completed_log:
+        if job.dispatched_at_ms is not None:
+            dispatch_point[job.job_id] = job.dispatched_at_ms
+            for member in job.members:
+                dispatch_point.setdefault(member.job_id, job.dispatched_at_ms)
+    for job in dispatcher.completed_log:
+        dispatched = dispatch_point.get(job.job_id)
+        if dispatched is None or job.completed_at_ms is None:
+            continue
+        latencies.append(
+            JobLatency(
+                vp=job.vp,
+                kind=job.kind,
+                queue_wait_ms=max(0.0, dispatched - job.submitted_at_ms),
+                service_ms=max(0.0, job.completed_at_ms - dispatched),
+            )
+        )
+    return latencies
+
+
+def vp_accounts(framework: SigmaVP) -> Dict[str, VPAccount]:
+    """Aggregate accounting per attached VP (merged groups excluded)."""
+    accounts: Dict[str, VPAccount] = {}
+    for name, session in framework.sessions.items():
+        accounts[name] = VPAccount(
+            vp=name,
+            guest_cpu_ms=session.vp.guest_cpu_ms,
+            elapsed_ms=session.vp.elapsed_ms,
+        )
+    for latency in job_latencies(framework.dispatcher):
+        account = accounts.get(latency.vp)
+        if account is None:
+            continue  # synthetic merged-group rows
+        account.jobs += 1
+        account.queue_wait_ms += latency.queue_wait_ms
+        account.service_ms += latency.service_ms
+    return accounts
+
+
+def kind_breakdown(dispatcher) -> Dict[JobKind, JobLatency]:
+    """Mean queue-wait/service per job kind."""
+    sums: Dict[JobKind, List[float]] = {}
+    for latency in job_latencies(dispatcher):
+        bucket = sums.setdefault(latency.kind, [0.0, 0.0, 0.0])
+        bucket[0] += latency.queue_wait_ms
+        bucket[1] += latency.service_ms
+        bucket[2] += 1
+    return {
+        kind: JobLatency(
+            vp="*", kind=kind,
+            queue_wait_ms=total_wait / count,
+            service_ms=total_service / count,
+        )
+        for kind, (total_wait, total_service, count) in sums.items()
+    }
+
+
+def render_accounting(framework: SigmaVP) -> str:
+    """Text report: per-VP and per-kind breakdowns."""
+    accounts = vp_accounts(framework)
+    per_vp = render_table(
+        ["VP", "Jobs", "Queue wait (ms)", "Service (ms)",
+         "Guest CPU (ms)", "Elapsed (ms)"],
+        [
+            (a.vp, a.jobs, a.queue_wait_ms, a.service_ms,
+             a.guest_cpu_ms, a.elapsed_ms if a.elapsed_ms is not None else "-")
+            for a in sorted(accounts.values(), key=lambda a: a.vp)
+        ],
+        title="Per-VP accounting",
+    )
+    kinds = kind_breakdown(framework.dispatcher)
+    per_kind = render_table(
+        ["Kind", "Mean queue wait (ms)", "Mean service (ms)"],
+        [
+            (kind.name, latency.queue_wait_ms, latency.service_ms)
+            for kind, latency in sorted(kinds.items(), key=lambda kv: kv[0].name)
+        ],
+        title="Per-kind latency",
+    )
+    return per_vp + "\n\n" + per_kind

@@ -1,0 +1,325 @@
+"""Regeneration of the paper's Figures 9-13.
+
+Each ``fig*_series`` function runs the corresponding experiment through
+the full simulation stack and returns the measured series next to the
+analytical/expected values the paper plots, ready for
+:func:`repro.analysis.reporting.render_series`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.estimation import ExecutionAnalyzer
+from ..core.interleaving import (
+    balanced_speedup,
+    expected_speedup,
+)
+from ..core.ipc import IPCTransport, SHARED_MEMORY
+from ..core.scenarios import run_emulation, run_sigma_vp
+from ..gpu.arch import GPUArchitecture, GRID_K520, QUADRO_4000, TEGRA_K1
+from ..gpu.timing import KernelTimingModel
+from ..kernels.compiler import KernelCompiler
+from ..kernels.launch import LaunchConfig
+from ..workloads.base import WorkloadSpec
+from ..workloads.catalog import ESTIMATION_APPS, get_workload
+from ..workloads.linalg import make_vectoradd_kernel, make_vectoradd_spec
+from ..workloads.synthetic import make_phase_workload, measured_phase_times
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: Kernel Interleaving
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InterleavingPoint:
+    """One point of Fig. 9: measured vs expected speedup."""
+
+    x: float
+    measured: float
+    expected: float
+
+
+def fig9a_series(
+    kernel_lengths_ms: Sequence[float] = (1.0, 4.0, 8.0, 13.44, 20.0, 40.0, 60.0, 80.0, 100.0),
+    t_copy_ms: float = 13.44,
+    transport: IPCTransport = SHARED_MEMORY,
+) -> List[InterleavingPoint]:
+    """Fig. 9(a): two interleaved programs, kernel length swept.
+
+    The copy time is fixed at the paper's 13.44 ms; speedup peaks where
+    the kernel matches it (latency hiding).
+    """
+    points = []
+    for t_kernel in kernel_lengths_ms:
+        spec = make_phase_workload(t_kernel_ms=t_kernel, t_copy_ms=t_copy_ms)
+        tm, tk = measured_phase_times(spec)
+        serial = run_sigma_vp(spec, n_vps=2, interleaving=False,
+                              coalescing=False, transport=transport)
+        inter = run_sigma_vp(spec, n_vps=2, interleaving=True,
+                             coalescing=False, transport=transport)
+        points.append(
+            InterleavingPoint(
+                x=tk,
+                measured=serial.total_ms / inter.total_ms,
+                expected=expected_speedup(2, tm, tk),
+            )
+        )
+    return points
+
+
+def fig9b_series(
+    program_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    t_phase_ms: float = 4.0,
+    transport: IPCTransport = SHARED_MEMORY,
+) -> List[InterleavingPoint]:
+    """Fig. 9(b): N interleaved programs with Tk = Tm; expected = 3N/(N+2)."""
+    points = []
+    spec = make_phase_workload(t_kernel_ms=t_phase_ms, t_copy_ms=t_phase_ms)
+    for n in program_counts:
+        serial = run_sigma_vp(spec, n_vps=n, interleaving=False,
+                              coalescing=False, transport=transport)
+        inter = run_sigma_vp(spec, n_vps=n, interleaving=True,
+                             coalescing=False, transport=transport)
+        points.append(
+            InterleavingPoint(
+                x=n,
+                measured=serial.total_ms / inter.total_ms,
+                expected=balanced_speedup(n),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: Kernel Coalescing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CoalescingPoint:
+    """One point of Fig. 10(a)."""
+
+    batch: int
+    total_ms: float
+    speedup: float
+
+
+#: Paper anchors for Fig. 10(a): 10.54x at 16 coalesced programs,
+#: 20.48x at 64.
+PAPER_FIG10A = {16: 10.54, 64: 20.48}
+
+
+def fig10a_series(
+    batch_degrees: Sequence[int] = (1, 2, 4, 8, 16, 32, 48, 64),
+    n_programs: int = 64,
+    transport: IPCTransport = SHARED_MEMORY,
+) -> List[CoalescingPoint]:
+    """Fig. 10(a): vectorAdd, 64 programs, coalescing degree swept.
+
+    Per-program work is fixed (the total stays the same as the paper
+    requires); the baseline is the same 64 programs with coalescing off.
+    """
+    spec = make_vectoradd_spec(
+        elements=4096, iterations=1, block_size=512,
+        elements_per_thread=8, fp32_per_element=4000,
+    )
+    base = run_sigma_vp(spec, n_vps=n_programs, interleaving=False,
+                        coalescing=False, transport=transport).total_ms
+    points = [CoalescingPoint(batch=1, total_ms=base, speedup=1.0)]
+    for batch in batch_degrees:
+        if batch <= 1:
+            continue
+        result = run_sigma_vp(spec, n_vps=n_programs, interleaving=False,
+                              coalescing=True, max_batch=batch,
+                              transport=transport)
+        points.append(
+            CoalescingPoint(
+                batch=batch,
+                total_ms=result.total_ms,
+                speedup=base / result.total_ms,
+            )
+        )
+    return points
+
+
+@dataclass
+class StaircasePoint:
+    grid: int
+    time_ms: float
+
+
+def fig10b_series(
+    grids: Sequence[int] = tuple(range(1, 65)),
+    block_size: int = 512,
+    arch: GPUArchitecture = QUADRO_4000,
+) -> List[StaircasePoint]:
+    """Fig. 10(b): single-kernel time vs grid size (Eq. 9's staircase)."""
+    kernel = make_vectoradd_kernel(elements_per_thread=8, fp32_per_element=4000)
+    model = KernelTimingModel(arch)
+    compiler = KernelCompiler()
+    compiled = compiler.compile(kernel, arch)
+    points = []
+    for grid in grids:
+        launch = LaunchConfig(
+            grid_size=grid, block_size=block_size,
+            elements=grid * block_size * 8,
+        )
+        points.append(
+            StaircasePoint(grid=grid, time_ms=model.kernel_time_ms(compiled, launch))
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: the application suite
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SuitePoint:
+    """One application's bar/lines in Fig. 11."""
+
+    app: str
+    emulation_ms: float
+    multiplexing_speedup: float
+    optimized_speedup: float
+
+
+#: The applications Fig. 11 plots, in its x-axis order.
+FIG11_APPS: Tuple[str, ...] = (
+    "simpleGL",
+    "Mandelbrot",
+    "marchingCubes",
+    "bicubicTexture",
+    "VolumeFiltering",
+    "recursiveGaussian",
+    "SobelFilter",
+    "stereoDisparity",
+    "convolutionSeparable",
+    "dct8x8",
+    "BlackScholes",
+    "MonteCarlo",
+    "matrixMul",
+    "mergeSort",
+    "nbody",
+    "smokeParticles",
+    "segmentationTreeThrust",
+)
+
+
+def fig11_series(
+    apps: Sequence[str] = FIG11_APPS,
+    n_vps: int = 8,
+) -> List[SuitePoint]:
+    """Fig. 11: per-app emulation time and SigmaVP speedups on 8 VPs."""
+    points = []
+    for name in apps:
+        spec = get_workload(name)
+        emul = run_emulation(spec, n_instances=n_vps).total_ms
+        base = run_sigma_vp(spec, n_vps=n_vps, interleaving=False,
+                            coalescing=False).total_ms
+        opt = run_sigma_vp(spec, n_vps=n_vps, interleaving=True,
+                           coalescing=True).total_ms
+        points.append(
+            SuitePoint(
+                app=name,
+                emulation_ms=emul,
+                multiplexing_speedup=emul / base,
+                optimized_speedup=emul / opt,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figs. 12 and 13: timing and power estimation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EstimationPoint:
+    """One app's bars in Fig. 12: everything normalized by the target
+    observation."""
+
+    app: str
+    host: str
+    h_normalized: float
+    t_normalized: float  # 1.0 by construction
+    c_normalized: float
+    c_prime_normalized: float
+    c_double_prime_normalized: float
+
+
+def fig12_series(
+    hosts: Sequence[GPUArchitecture] = (QUADRO_4000, GRID_K520),
+    apps: Sequence[str] = ESTIMATION_APPS,
+    target: GPUArchitecture = TEGRA_K1,
+) -> List[EstimationPoint]:
+    """Fig. 12: normalized execution times, two hosts x four apps."""
+    points = []
+    for host in hosts:
+        analyzer = ExecutionAnalyzer(host, target)
+        for name in apps:
+            spec = get_workload(name)
+            kernel, launch = spec.kernel, spec.launch_config()
+            host_profile = analyzer.profile_on_host(kernel, launch)
+            truth_ms = analyzer.observe_on_target(kernel, launch).time_ms
+            est = analyzer.analyze(kernel, launch, host_profile=host_profile)
+            norm = lambda cycles: analyzer.estimated_time_ms(cycles) / truth_ms
+            points.append(
+                EstimationPoint(
+                    app=name,
+                    host=host.name,
+                    h_normalized=host_profile.time_ms / truth_ms,
+                    t_normalized=1.0,
+                    c_normalized=norm(est.c_cycles),
+                    c_prime_normalized=norm(est.c_prime_cycles),
+                    c_double_prime_normalized=norm(est.c_double_prime_cycles),
+                )
+            )
+    return points
+
+
+@dataclass
+class PowerPoint:
+    """One app's bars in Fig. 13: measured vs estimated target power."""
+
+    app: str
+    host: str
+    measured_w: float
+    estimated_w: float
+
+    @property
+    def error_pct(self) -> float:
+        return 100.0 * (self.estimated_w - self.measured_w) / self.measured_w
+
+
+def fig13_series(
+    hosts: Sequence[GPUArchitecture] = (QUADRO_4000, GRID_K520),
+    apps: Sequence[str] = ESTIMATION_APPS,
+    target: GPUArchitecture = TEGRA_K1,
+) -> List[PowerPoint]:
+    """Fig. 13: normalized power, two hosts x four apps (within ~10%)."""
+    points = []
+    for host in hosts:
+        analyzer = ExecutionAnalyzer(host, target)
+        for name in apps:
+            spec = get_workload(name)
+            kernel, launch = spec.kernel, spec.launch_config()
+            host_profile = analyzer.profile_on_host(kernel, launch)
+            measured = analyzer.observed_power(kernel, launch)
+            estimated = analyzer.estimate_power(
+                kernel, launch, host_profile=host_profile
+            )
+            points.append(
+                PowerPoint(
+                    app=name,
+                    host=host.name,
+                    measured_w=measured.total_w,
+                    estimated_w=estimated.total_w,
+                )
+            )
+    return points

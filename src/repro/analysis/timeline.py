@@ -1,0 +1,125 @@
+"""Execution timelines: what every engine did, when.
+
+Collects the busy spans of each host-GPU engine (and basic per-VP
+lifetimes) from a finished :class:`~repro.core.framework.SigmaVP` run and
+renders them as an ASCII Gantt chart — the textual analog of the paper's
+Fig. 3/6 engine diagrams, handy for seeing interleaving and coalescing
+actually happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.framework import SigmaVP
+from ..gpu.engines import TimelineEntry
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One horizontal lane of the chart: an engine and its busy spans."""
+
+    name: str
+    spans: List[TimelineEntry]
+
+    @property
+    def busy_ms(self) -> float:
+        return sum(s.duration_ms for s in self.spans)
+
+
+@dataclass
+class Timeline:
+    """All lanes of one simulation, with the overall horizon."""
+
+    lanes: List[Lane]
+    horizon_ms: float
+    vp_spans: Dict[str, tuple] = field(default_factory=dict)
+
+    def lane(self, name: str) -> Lane:
+        for lane in self.lanes:
+            if lane.name == name:
+                return lane
+        raise KeyError(f"no lane named {name!r}")
+
+    def utilization(self, name: str) -> float:
+        if self.horizon_ms <= 0:
+            return 0.0
+        return self.lane(name).busy_ms / self.horizon_ms
+
+    def as_dict(self) -> dict:
+        """JSON-friendly export."""
+        return {
+            "horizon_ms": self.horizon_ms,
+            "lanes": [
+                {
+                    "name": lane.name,
+                    "busy_ms": lane.busy_ms,
+                    "spans": [
+                        {"label": s.label, "start_ms": s.start_ms, "end_ms": s.end_ms}
+                        for s in lane.spans
+                    ],
+                }
+                for lane in self.lanes
+            ],
+            "vps": {
+                name: {"start_ms": start, "end_ms": end}
+                for name, (start, end) in self.vp_spans.items()
+            },
+        }
+
+
+def collect_timeline(framework: SigmaVP) -> Timeline:
+    """Extract the engine timelines from a finished framework run."""
+    lanes: List[Lane] = []
+    for index, gpu in enumerate(framework.gpus):
+        prefix = f"gpu{index}/" if len(framework.gpus) > 1 else ""
+        lanes.append(Lane(f"{prefix}h2d", list(gpu.h2d_engine.timeline)))
+        lanes.append(Lane(f"{prefix}compute", list(gpu.compute_engine.timeline)))
+        lanes.append(Lane(f"{prefix}d2h", list(gpu.d2h_engine.timeline)))
+    vp_spans = {
+        name: (session.vp.started_at_ms or 0.0,
+               session.vp.finished_at_ms or framework.env.now)
+        for name, session in framework.sessions.items()
+    }
+    return Timeline(
+        lanes=lanes,
+        horizon_ms=framework.env.now,
+        vp_spans=vp_spans,
+    )
+
+
+def render_gantt(
+    timeline: Timeline,
+    width: int = 72,
+    lanes: Optional[Sequence[str]] = None,
+) -> str:
+    """ASCII Gantt: one row per engine, '#' where it was busy.
+
+    Cells are marked busy if any span overlaps them; the rightmost
+    column ends at the simulation horizon.
+    """
+    if timeline.horizon_ms <= 0:
+        return "(empty timeline)"
+    selected = (
+        [timeline.lane(name) for name in lanes]
+        if lanes is not None
+        else timeline.lanes
+    )
+    label_width = max((len(lane.name) for lane in selected), default=4)
+    scale = timeline.horizon_ms / width
+    out = [
+        f"0 ms {' ' * (label_width + width - 12)} {timeline.horizon_ms:.2f} ms"
+    ]
+    for lane in selected:
+        cells = [" "] * width
+        for span in lane.spans:
+            first = min(width - 1, int(span.start_ms / scale))
+            last = min(width - 1, max(first, int((span.end_ms - 1e-12) / scale)))
+            for cell in range(first, last + 1):
+                cells[cell] = "#"
+        busy_pct = 100.0 * timeline.utilization(lane.name)
+        out.append(
+            f"{lane.name.rjust(label_width)} |{''.join(cells)}| {busy_pct:5.1f}%"
+        )
+    return "\n".join(out)

@@ -1,0 +1,121 @@
+"""Cross-backend functional validation.
+
+"We show that SigmaVP can be used for functional validation" (paper
+Section 1).  The validation contract is binary compatibility: the same
+application must produce the same numerical results whether its CUDA
+calls are served by the software emulator, the native host GPU, or the
+full SigmaVP pipeline.  :func:`validate_workload` runs all three routes
+and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.scenarios import run_emulation, run_native_gpu, run_sigma_vp
+from ..kernels.functional import REGISTRY
+from ..vp.cpu import HOST_XEON
+from ..workloads.base import WorkloadSpec
+
+#: The execution routes validation compares.
+ROUTES = ("native-gpu", "emulation", "sigma-vp")
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of one workload's cross-backend comparison."""
+
+    workload: str
+    routes: Dict[str, bool]  # route -> produced a result
+    equivalent: bool
+    max_abs_difference: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.equivalent and all(self.routes.values())
+
+
+def _result_of(scenario) -> Optional[np.ndarray]:
+    value = scenario.extras.get("result")
+    if value is None:
+        return None
+    return np.asarray(value)
+
+
+def validate_workload(
+    spec: WorkloadSpec,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+) -> ValidationResult:
+    """Run ``spec`` on every backend and compare the numerical results.
+
+    The workload must have a registered functional kernel; otherwise
+    there is nothing to compare and a non-equivalent result with a
+    detail message is returned.
+    """
+    if spec.kernel.signature not in REGISTRY:
+        return ValidationResult(
+            workload=spec.name,
+            routes={route: False for route in ROUTES},
+            equivalent=False,
+            max_abs_difference=float("nan"),
+            detail=f"no functional kernel registered for "
+                   f"{spec.kernel.signature!r}",
+        )
+
+    outputs = {
+        "native-gpu": _result_of(run_native_gpu(spec, functional=True)),
+        "emulation": _result_of(
+            run_emulation(spec, cpu=HOST_XEON, functional=True)
+        ),
+        "sigma-vp": _result_of(run_sigma_vp(spec, n_vps=1, functional=True)),
+    }
+    produced = {route: value is not None for route, value in outputs.items()}
+    if not all(produced.values()):
+        missing = [route for route, ok in produced.items() if not ok]
+        return ValidationResult(
+            workload=spec.name,
+            routes=produced,
+            equivalent=False,
+            max_abs_difference=float("nan"),
+            detail=f"routes produced no result: {missing}",
+        )
+
+    reference = outputs["native-gpu"]
+    max_diff = 0.0
+    equivalent = True
+    detail = ""
+    for route in ("emulation", "sigma-vp"):
+        other = outputs[route]
+        if reference.shape != other.shape:
+            equivalent = False
+            detail = f"{route} shape {other.shape} != {reference.shape}"
+            max_diff = float("inf")
+            break
+        diff = float(
+            np.max(np.abs(reference.astype(np.float64)
+                          - other.astype(np.float64)))
+        ) if reference.size else 0.0
+        max_diff = max(max_diff, diff)
+        if not np.allclose(reference, other, rtol=rtol, atol=atol):
+            equivalent = False
+            detail = f"{route} differs from native (max |diff| = {diff:g})"
+    return ValidationResult(
+        workload=spec.name,
+        routes=produced,
+        equivalent=equivalent,
+        max_abs_difference=max_diff,
+        detail=detail,
+    )
+
+
+def validate_suite(
+    specs: Sequence[WorkloadSpec],
+    rtol: float = 1e-5,
+) -> List[ValidationResult]:
+    """Validate several workloads; returns one result per spec."""
+    return [validate_workload(spec, rtol=rtol) for spec in specs]

@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                       — the workload catalog
+* ``run APP [options]``          — simulate one app on N VPs and report
+* ``table1``                     — regenerate the paper's Table 1
+* ``fig9`` / ``fig10`` / ``fig11 [apps...]`` / ``fig12`` / ``fig13``
+                                 — regenerate the paper's figures
+* ``estimate APP``               — target time/power estimates (Sec. 4)
+* ``validate [apps...]``         — cross-backend functional equivalence
+* ``report [-o FILE] [--quick]`` — the full paper-vs-measured record
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    build_table1,
+    fig9a_series,
+    fig9b_series,
+    fig10a_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+    render_series,
+    render_table,
+    render_table1,
+)
+from .analysis.timeline import collect_timeline, render_gantt
+from .core.framework import SigmaVP
+from .core.ipc import SHARED_MEMORY, SOCKET
+from .gpu.arch import CATALOG, GRID_K520, QUADRO_4000, TEGRA_K1
+from .workloads import SUITE, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SigmaVP reproduction: host-GPU multiplexing for "
+                    "simulating embedded GPUs (DAC 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload catalog")
+
+    run = sub.add_parser("run", help="simulate one app on N virtual platforms")
+    run.add_argument("app", help="workload name (see `repro list`)")
+    run.add_argument("--vps", type=int, default=8, help="number of VPs")
+    run.add_argument("--gpus", type=int, default=1, help="host GPUs to multiplex")
+    run.add_argument("--no-interleaving", action="store_true")
+    run.add_argument("--no-coalescing", action="store_true")
+    run.add_argument("--transport", choices=("socket", "shm"), default="socket")
+    run.add_argument("--functional", action="store_true",
+                     help="execute kernels numerically (numpy)")
+    run.add_argument("--gantt", action="store_true",
+                     help="print the engine timeline")
+    run.add_argument("--account", action="store_true",
+                     help="print per-VP / per-kind latency accounting")
+
+    sub.add_parser("table1", help="regenerate Table 1 (matrixMul, six routes)")
+    sub.add_parser("fig9", help="regenerate Fig 9 (Kernel Interleaving)")
+    sub.add_parser("fig10", help="regenerate Fig 10(a) (Kernel Coalescing)")
+    fig11 = sub.add_parser("fig11", help="regenerate Fig 11 (the suite, 8 VPs)")
+    fig11.add_argument("apps", nargs="*", help="subset of apps (default: all)")
+    sub.add_parser("fig12", help="regenerate Fig 12 (timing estimation)")
+    sub.add_parser("fig13", help="regenerate Fig 13 (power estimation)")
+
+    estimate = sub.add_parser("estimate", help="target time/power for one app")
+    estimate.add_argument("app")
+    estimate.add_argument("--host", choices=("quadro", "grid"), default="quadro")
+
+    report = sub.add_parser(
+        "report", help="regenerate the full paper-vs-measured report"
+    )
+    report.add_argument("-o", "--output", default="report.md")
+    report.add_argument("--quick", action="store_true",
+                        help="reduced Fig-11 app set")
+
+    validate = sub.add_parser(
+        "validate",
+        help="check functional equivalence across all execution routes",
+    )
+    validate.add_argument("apps", nargs="*",
+                          help="workloads to validate (default: a core set)")
+
+    return parser
+
+
+def _cmd_list() -> None:
+    rows = []
+    for name in sorted(SUITE):
+        spec = SUITE[name]
+        rows.append((
+            name,
+            spec.elements,
+            spec.iterations,
+            f"{spec.fp_fraction:.0%}",
+            "yes" if spec.coalescible else "no",
+            "yes" if spec.uses_noncuda else "no",
+            spec.description[:46],
+        ))
+    print(render_table(
+        ["Workload", "Elements", "Iters", "FP", "Coalescible",
+         "Non-CUDA", "Description"],
+        rows,
+        title=f"Workload catalog ({len(SUITE)} applications)",
+    ))
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    spec = get_workload(args.app)
+    registry_kwargs = {}
+    if args.functional:
+        from .kernels.functional import REGISTRY
+
+        registry_kwargs["registry"] = REGISTRY
+    else:
+        from .kernels.functional import FunctionalRegistry
+
+        registry_kwargs["registry"] = FunctionalRegistry()
+    framework = SigmaVP(
+        transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
+        interleaving=not args.no_interleaving,
+        coalescing=not args.no_coalescing,
+        n_vps=args.vps,
+        n_host_gpus=args.gpus,
+        **registry_kwargs,
+    )
+    total = framework.run_workload(spec)
+    print(f"{spec.name}: {args.vps} VPs on {args.gpus} host GPU(s), "
+          f"interleaving={'on' if not args.no_interleaving else 'off'}, "
+          f"coalescing={'on' if not args.no_coalescing else 'off'}")
+    print(f"total simulated time: {total:.3f} ms")
+    print(f"IPC messages: {framework.ipc.messages_sent}")
+    if framework.coalescer is not None:
+        stats = framework.coalescer.stats
+        print(f"coalescer: {stats.merges} merges covering "
+              f"{stats.kernels_coalesced} kernels")
+    print(f"kernels profiled: {len(framework.profiler)}")
+    if args.gantt:
+        print()
+        print(render_gantt(collect_timeline(framework)))
+    if args.account:
+        from .analysis.accounting import render_accounting
+
+        print()
+        print(render_accounting(framework))
+
+
+def _cmd_table1() -> None:
+    print(render_table1(build_table1()))
+
+
+def _cmd_fig9() -> None:
+    points = fig9b_series()
+    print(render_series(
+        "Fig 9(b): interleaving speedup vs N programs (Tk = Tm)",
+        [int(p.x) for p in points],
+        [("Results", [p.measured for p in points]),
+         ("Expected", [p.expected for p in points])],
+        x_label="N",
+    ))
+    print()
+    points = fig9a_series(kernel_lengths_ms=(2.0, 8.0, 13.44, 30.0, 60.0))
+    print(render_series(
+        "Fig 9(a): speedup vs kernel length (2 programs, Tm = 13.44 ms)",
+        [f"{p.x:.2f}" for p in points],
+        [("Results", [p.measured for p in points]),
+         ("Expected", [p.expected for p in points])],
+        x_label="kernel ms",
+    ))
+
+
+def _cmd_fig10() -> None:
+    points = fig10a_series()
+    print(render_series(
+        "Fig 10(a): coalescing 64 vectorAdd programs",
+        [p.batch for p in points],
+        [("Time (ms)", [p.total_ms for p in points]),
+         ("Speedup", [p.speedup for p in points])],
+        x_label="coalesced",
+    ))
+
+
+def _cmd_fig11(apps: List[str]) -> None:
+    kwargs = {"apps": tuple(apps)} if apps else {}
+    points = fig11_series(**kwargs)
+    print(render_table(
+        ["App", "Emulation (s)", "x multiplexing", "x optimized"],
+        [(p.app, p.emulation_ms / 1e3, p.multiplexing_speedup,
+          p.optimized_speedup) for p in points],
+        title="Fig 11: 8 VPs, emulation vs SigmaVP",
+    ))
+
+
+def _cmd_fig12() -> None:
+    points = fig12_series()
+    print(render_table(
+        ["Host", "App", "H", "T", "C", "C'", "C''"],
+        [(p.host, p.app, p.h_normalized, p.t_normalized, p.c_normalized,
+          p.c_prime_normalized, p.c_double_prime_normalized) for p in points],
+        title="Fig 12: normalized execution times (target = Tegra K1)",
+    ))
+
+
+def _cmd_fig13() -> None:
+    points = fig13_series()
+    print(render_table(
+        ["Host", "App", "Measured (W)", "Estimate (W)", "Error (%)"],
+        [(p.host, p.app, p.measured_w, p.estimated_w, p.error_pct)
+         for p in points],
+        title="Fig 13: target power, measured vs estimated",
+    ))
+
+
+def _cmd_estimate(args: argparse.Namespace) -> None:
+    from .core.estimation import ExecutionAnalyzer
+
+    host = QUADRO_4000 if args.host == "quadro" else GRID_K520
+    spec = get_workload(args.app)
+    analyzer = ExecutionAnalyzer(host, TEGRA_K1)
+    kernel, launch = spec.kernel, spec.launch_config()
+    profile = analyzer.profile_on_host(kernel, launch)
+    estimate = analyzer.analyze(kernel, launch, host_profile=profile)
+    power = analyzer.estimate_power(kernel, launch, host_profile=profile)
+    as_ms = analyzer.estimated_time_ms
+    print(f"{spec.name} on {host.name} -> Tegra K1")
+    print(f"  host execution:     {profile.time_ms:10.3f} ms")
+    print(f"  estimate C:         {as_ms(estimate.c_cycles):10.3f} ms")
+    print(f"  estimate C':        {as_ms(estimate.c_prime_cycles):10.3f} ms")
+    print(f"  estimate C'':       {as_ms(estimate.c_double_prime_cycles):10.3f} ms")
+    print(f"  estimated power:    {power.total_w:10.3f} W "
+          f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
+
+
+DEFAULT_VALIDATION_APPS = ("vectorAdd", "BlackScholes", "mergeSort",
+                           "physxParticles", "histogram")
+
+
+def _cmd_validate(apps: List[str]) -> int:
+    from .analysis.validation import validate_workload
+
+    names = apps or list(DEFAULT_VALIDATION_APPS)
+    failures = 0
+    rows = []
+    for name in names:
+        spec = get_workload(name)
+        if spec.elements > 16384:
+            spec = spec.scaled_to(8192, iterations=min(spec.iterations, 2))
+        result = validate_workload(spec)
+        rows.append((
+            name,
+            "OK" if result.ok else "FAIL",
+            f"{result.max_abs_difference:g}",
+            result.detail or "-",
+        ))
+        if not result.ok:
+            failures += 1
+    print(render_table(
+        ["Workload", "Equivalent", "Max |diff|", "Detail"],
+        rows,
+        title="Cross-backend functional validation "
+              "(emulation vs native vs SigmaVP)",
+    ))
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "table1":
+        _cmd_table1()
+    elif args.command == "fig9":
+        _cmd_fig9()
+    elif args.command == "fig10":
+        _cmd_fig10()
+    elif args.command == "fig11":
+        _cmd_fig11(args.apps)
+    elif args.command == "fig12":
+        _cmd_fig12()
+    elif args.command == "fig13":
+        _cmd_fig13()
+    elif args.command == "estimate":
+        _cmd_estimate(args)
+    elif args.command == "report":
+        from pathlib import Path
+
+        from .analysis.report_builder import write_report
+
+        path = write_report(Path(args.output), quick=args.quick)
+        print(f"report written to {path}")
+    elif args.command == "validate":
+        return _cmd_validate(args.apps)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

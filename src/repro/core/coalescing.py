@@ -1,0 +1,335 @@
+"""Kernel Coalescing (paper Section 3, Figs. 5 and 6).
+
+"When multiple VP instances are running it is likely that an identical
+kernel is called by more than one VP at the same time.  Such simulations
+can be accelerated by coalescing those common invocations from each VP
+into a single kernel invocation."
+
+The coalescer operates on the Job Queue.  For each VP it recognises a
+*triple* at the VP's queue head — host-to-device copies, an identical
+kernel, and (if already submitted) device-to-host copies.  Triples from
+different VPs with the same coalesce key (kernel signature + block size)
+merge into one triple:
+
+* the member buffers are re-bound to one physically-contiguous device
+  region (Fig. 5), so a single kernel can sweep the merged data;
+* one H2D copy moves the concatenated inputs (one DMA latency instead of
+  N), one kernel launch covers the merged grid (one launch overhead, and
+  a grid that aligns to the device's wave quantum — the data-alignment
+  gain the paper highlights), and one D2H copy returns all results;
+* each member job's completion fires when its merged stage completes,
+  and the results are "properly divided to be copied ... back to the
+  host memory addresses" through each member's sink.
+
+Because matching requests from different VPs arrive within an IPC-latency
+window rather than at one instant, the coalescer *holds* coalescible jobs
+briefly (the reproduction's analog of VP control pausing platforms) and
+merges when the group is complete or the window expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gpu.device import HostGPU
+from ..sim import Environment
+from .handles import HandleTable
+from .jobs import Job, JobKind, JobQueue
+
+#: Default time a coalescible job may be held waiting for its group, in
+#: milliseconds.  Covers a few guest->host socket latencies so a VP's
+#: whole (copy, kernel, copy) triple can arrive and match its peers.
+DEFAULT_HOLD_WINDOW_MS = 2.5
+
+#: Once the kernel group is complete, how long to wait for members'
+#: still-in-flight D2H requests before merging without them (ms).
+DEFAULT_SETTLE_MS = 0.1
+
+#: Copies larger than this stay individual jobs even when their kernels
+#: merge.  Merging a batch of large copies into one DMA saves only the
+#: per-transfer latency but serializes what the dual copy engines would
+#: otherwise pipeline against compute — a net loss above this size.
+DEFAULT_COPY_MERGE_LIMIT_BYTES = 512 * 1024
+
+
+@dataclass
+class Triple:
+    """One VP's (H2D*, KERNEL, D2H*) prefix at its queue head."""
+
+    vp: str
+    h2d: List[Job]
+    kernel: Job
+    d2h: List[Job]
+
+    @property
+    def key(self) -> tuple:
+        return self.kernel.coalesce_key
+
+    @property
+    def jobs(self) -> List[Job]:
+        return [*self.h2d, self.kernel, *self.d2h]
+
+
+@dataclass
+class CoalesceStats:
+    """Counters describing what the coalescer did."""
+
+    merges: int = 0
+    kernels_coalesced: int = 0
+    copies_merged: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+
+
+class KernelCoalescer:
+    """Merges identical kernel requests from different VPs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        gpu: HostGPU,
+        handles: HandleTable,
+        device_of=None,
+        min_batch: int = 2,
+        max_batch: int = 64,
+        target_batch: Optional[int] = None,
+        hold_window_ms: float = DEFAULT_HOLD_WINDOW_MS,
+        settle_ms: float = DEFAULT_SETTLE_MS,
+        copy_merge_limit_bytes: int = DEFAULT_COPY_MERGE_LIMIT_BYTES,
+    ):
+        if min_batch < 2:
+            raise ValueError(f"min_batch must be >= 2, got {min_batch}")
+        if max_batch < min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        self.env = env
+        self.gpu = gpu
+        #: Maps a VP name to its host-GPU index; wired by the framework
+        #: on multi-GPU hosts so triples never merge across devices.
+        self.device_of = device_of or (lambda vp: 0)
+        #: GPUs indexed by device; extended by the framework.
+        self.gpus = [gpu]
+        self.handles = handles
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.target_batch = target_batch
+        self.hold_window_ms = hold_window_ms
+        self.settle_ms = settle_ms
+        self.copy_merge_limit_bytes = copy_merge_limit_bytes
+        self.stats = CoalesceStats()
+        self._merge_counter = 0
+
+    # -- triple discovery --------------------------------------------------
+
+    def find_triples(self, queue: JobQueue) -> Dict[tuple, List[Triple]]:
+        """Group each VP's head triple by coalesce key."""
+        groups: Dict[tuple, List[Triple]] = {}
+        vps = {job.vp for job in queue}
+        for vp in sorted(vps):
+            triple = self._head_triple(queue.pending_for(vp))
+            if triple is None or triple.key is None:
+                continue
+            if triple.kernel.members or any(j.members for j in triple.jobs):
+                continue  # already a merged triple: never re-coalesce
+            device = self.device_of(vp)
+            groups.setdefault((*triple.key, device), []).append(triple)
+        return groups
+
+    @staticmethod
+    def _head_triple(pending: Sequence[Job]) -> Optional[Triple]:
+        """Parse H2D*, KERNEL, D2H* at the head of one VP's pending jobs."""
+        h2d: List[Job] = []
+        index = 0
+        while index < len(pending) and pending[index].kind is JobKind.COPY_H2D:
+            h2d.append(pending[index])
+            index += 1
+        if index >= len(pending) or not pending[index].is_kernel:
+            return None
+        kernel = pending[index]
+        index += 1
+        d2h: List[Job] = []
+        while index < len(pending) and pending[index].kind is JobKind.COPY_D2H:
+            d2h.append(pending[index])
+            index += 1
+        return Triple(vp=kernel.vp, h2d=h2d, kernel=kernel, d2h=d2h)
+
+    # -- hold decision -----------------------------------------------------
+
+    def _goal_batch(self) -> int:
+        if self.target_batch is not None:
+            return min(self.target_batch, self.max_batch)
+        return self.max_batch
+
+    def _group_state(self, triples: List[Triple]):
+        """(ready_to_merge, wake_deadline_or_None) for one key's group.
+
+        A group merges when (a) it has reached the goal batch size *and*
+        every member's D2H either arrived or the short settle window
+        passed, or (b) the hold window since the group's first kernel
+        expired (merge whatever gathered, if at least ``min_batch``).
+        """
+        now = self.env.now
+        first_arrival = min(t.kernel.submitted_at_ms for t in triples)
+        window_deadline = first_arrival + self.hold_window_ms
+        if len(triples) >= self._goal_batch():
+            if all(t.d2h for t in triples):
+                return True, None
+            last_arrival = max(t.kernel.submitted_at_ms for t in triples)
+            settle_deadline = min(last_arrival + self.settle_ms, window_deadline)
+            if now >= settle_deadline:
+                return True, None
+            return False, settle_deadline
+        if now >= window_deadline:
+            return len(triples) >= self.min_batch, None
+        return False, window_deadline
+
+    def hold_deadline(self, queue: JobQueue, job: Job) -> Optional[float]:
+        """If ``job`` should wait for coalescing, when its hold expires.
+
+        Returns None when the job should dispatch normally: either it is
+        not part of a coalescible group, or its group is ready to merge
+        right now (the merge happens in the same dispatcher pass).
+        """
+        for triples in self.find_triples(queue).values():
+            group_jobs = {j.job_id for t in triples for j in t.jobs}
+            if job.job_id not in group_jobs:
+                continue
+            ready, deadline = self._group_state(triples)
+            if ready:
+                return None
+            return deadline
+        return None
+
+    # -- the merge -----------------------------------------------------------
+
+    def coalesce_pass(self, queue: JobQueue) -> List[Job]:
+        """Merge every ready group in the queue; returns merged jobs."""
+        merged_jobs: List[Job] = []
+        for _key, triples in sorted(self.find_triples(queue).items()):
+            ready, _deadline = self._group_state(triples)
+            if not ready:
+                continue
+            while len(triples) >= self.min_batch:
+                batch = triples[: self.max_batch]
+                triples = triples[self.max_batch :]
+                if len(batch) < self.min_batch:
+                    break
+                merged_jobs.extend(self._merge_batch(queue, batch))
+        return merged_jobs
+
+    def _merge_batch(self, queue: JobQueue, batch: List[Triple]) -> List[Job]:
+        """Replace a batch of triples with one merged triple."""
+        self._merge_counter += 1
+        group = f"coalesced#{self._merge_counter}"
+        device = self.device_of(batch[0].vp)
+        self.stats.merges += 1
+        self.stats.kernels_coalesced += len(batch)
+        self.stats.batch_sizes.append(len(batch))
+
+        self._relayout_buffers(batch, owner=group)
+
+        merged: List[Job] = []
+        seq = 0
+
+        def mergeable_copies(jobs: List[Job]) -> bool:
+            return bool(jobs) and all(
+                j.nbytes <= self.copy_merge_limit_bytes for j in jobs
+            )
+
+        h2d_members = [job for triple in batch for job in triple.h2d]
+        h2d_merged = mergeable_copies(h2d_members)
+        if h2d_merged:
+            self.stats.copies_merged += len(h2d_members)
+            job = Job(
+                vp=group,
+                seq=seq,
+                kind=JobKind.COPY_H2D,
+                completion=self.env.event(),
+                nbytes=sum(j.nbytes for j in h2d_members),
+                sync=False,
+                device=device,
+            )
+            job.members = h2d_members
+            queue.replace(h2d_members, job)
+            merged.append(job)
+            seq += 1
+
+        kernel_members = [triple.kernel for triple in batch]
+        merged_kernel = self._merged_kernel_job(group, seq, kernel_members)
+        merged_kernel.device = device
+        if h2d_members and not h2d_merged:
+            # Large input copies stay individual (and pipelined); the
+            # merged kernel must still wait for all of them.
+            merged_kernel.depends_on = [j.completion for j in h2d_members]
+        queue.replace(kernel_members, merged_kernel)
+        merged.append(merged_kernel)
+        seq += 1
+
+        d2h_members = [job for triple in batch for job in triple.d2h]
+        if mergeable_copies(d2h_members):
+            self.stats.copies_merged += len(d2h_members)
+            job = Job(
+                vp=group,
+                seq=seq,
+                kind=JobKind.COPY_D2H,
+                completion=self.env.event(),
+                nbytes=sum(j.nbytes for j in d2h_members),
+                sync=False,
+                device=device,
+            )
+            job.members = d2h_members
+            queue.replace(d2h_members, job)
+            merged.append(job)
+        # Unmerged D2H members stay queued behind the merged kernel via
+        # their VP's barrier, so ordering is preserved without deps.
+
+        # A member VP's subsequent jobs must not overtake the merged
+        # stages acting on its behalf.
+        final_stage = merged[-1]
+        for triple in batch:
+            queue.set_barrier(
+                triple.vp,
+                final_stage.completion,
+                exempt_below_seq=triple.kernel.seq,
+            )
+        return merged
+
+    def _merged_kernel_job(self, group: str, seq: int, members: List[Job]) -> Job:
+        """Build the single kernel job covering every member's data."""
+        first = members[0]
+        launch = first.launch
+        footprint = first.kernel.footprint
+        for member in members[1:]:
+            launch = launch.merged_with(member.launch)
+            footprint = footprint.merged(member.kernel.footprint)
+        kernel = first.kernel.with_footprint(footprint)
+
+        job = Job(
+            vp=group,
+            seq=seq,
+            kind=JobKind.KERNEL,
+            completion=self.env.event(),
+            kernel=kernel,
+            launch=launch,
+            sync=False,
+        )
+        job.members = members
+        return job
+
+    def _relayout_buffers(self, batch: List[Triple], owner: str) -> None:
+        """Re-bind every member buffer into one contiguous region (Fig. 5)."""
+        gpu = self.gpus[self.device_of(batch[0].vp)]
+        handles: List[str] = []
+        for triple in batch:
+            for handle in (*triple.kernel.arg_handles, triple.kernel.out_handle):
+                if handle and handle in self.handles and handle not in handles:
+                    handles.append(handle)
+        if not handles:
+            return
+        sizes = [self.handles.buffer(h).size for h in handles]
+        try:
+            new_buffers = gpu.malloc_contiguous(sizes, owner=owner)
+        except Exception:
+            return  # fragmented device memory: keep original layout
+        for handle, new_buffer in zip(handles, new_buffers):
+            old = self.handles.rebind(handle, new_buffer)
+            gpu.free(old)

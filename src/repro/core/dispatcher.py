@@ -1,0 +1,326 @@
+"""The Job Dispatcher: executes Job Queue entries on the host GPU.
+
+"The Job Dispatcher links the requests to the GPU driver library on the
+host machine and invokes the physical GPU instructions based on the
+requests in the Job Queue" (paper Section 2).
+
+Two service disciplines are provided:
+
+* :attr:`ServiceMode.SERIAL` — the unoptimized prototype: one request is
+  served to completion before the next is fetched, in arrival order.
+  This is the baseline against which Kernel Interleaving's Eq. (7)/(8)
+  gains are defined (3N phases fully serialized).
+* :attr:`ServiceMode.PIPELINED` — optimized multiplexing: jobs flow to
+  the three hardware engines concurrently.  Engine queues are kept
+  shallow (one op executing, at most one queued) so the scheduling
+  policy re-decides at every slot — that is what lets a late-arriving
+  D2H overtake queued H2Ds and form the interleaved schedule of Fig. 3b.
+
+Per-VP partial order is preserved structurally: only each VP's earliest
+pending job is dispatchable, and a VP never has two jobs in flight (the
+stream-pump semantics of a per-VP CUDA stream).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpu.device import HostGPU
+from ..gpu.engines import Engine
+from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..sim import Environment, Event
+from .coalescing import KernelCoalescer
+from .handles import HandleTable
+from .jobs import Job, JobKind, JobQueue
+from .profiler import Profiler
+from .rescheduler import EngineBacklog, SchedulingPolicy, engine_role
+
+#: Host-side time to service a malloc/free request (driver bookkeeping).
+HOST_CALL_MS = 0.002
+
+#: Host-side profiling cost charged per kernel *job* (the CUPTI-style
+#: per-launch instrumentation SigmaVP's Profiler needs for Section 4's
+#: estimation).  A coalesced launch pays this once for its whole batch —
+#: one of the fixed per-invocation overheads Kernel Coalescing amortizes.
+PROFILING_OVERHEAD_MS = 0.15
+
+
+class ServiceMode(enum.Enum):
+    SERIAL = "serial"
+    PIPELINED = "pipelined"
+
+
+@dataclass
+class DispatchStats:
+    """Counters the experiments and tests read."""
+
+    dispatched: Dict[JobKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in JobKind}
+    )
+    completed: int = 0
+    busy_waits: int = 0
+
+    def total_dispatched(self) -> int:
+        return sum(self.dispatched.values())
+
+
+class JobDispatcher:
+    """Pulls jobs from the queue and runs them on the host GPU."""
+
+    def __init__(
+        self,
+        env: Environment,
+        gpu: HostGPU,
+        queue: JobQueue,
+        handles: HandleTable,
+        policy: SchedulingPolicy,
+        mode: ServiceMode = ServiceMode.PIPELINED,
+        coalescer: Optional[KernelCoalescer] = None,
+        registry: FunctionalRegistry = REGISTRY,
+        profiler: Optional[Profiler] = None,
+        extra_gpus: Optional[List[HostGPU]] = None,
+    ):
+        self.env = env
+        self.gpu = gpu
+        #: All host GPUs this dispatcher multiplexes ("SigmaVP multiplexes
+        #: the host GPUs", paper Section 2).  VPs get a device affinity
+        #: round-robin on their first request; their buffers and kernels
+        #: stay on that device.
+        self.gpus: List[HostGPU] = [gpu, *(extra_gpus or [])]
+        self._vp_device: Dict[str, int] = {}
+        self.queue = queue
+        self.handles = handles
+        self.policy = policy
+        self.mode = mode
+        self.coalescer = coalescer
+        self.registry = registry
+        self.profiler = profiler
+        self.backlog = EngineBacklog()
+        self.stats = DispatchStats()
+        #: Every job this dispatcher completed, in completion order
+        #: (members of merged jobs included) — the accounting source.
+        self.completed_log: List[Job] = []
+        self._inflight: Dict[str, Job] = {}
+        self._wake: Event = env.event()
+        self._process = env.process(self._run())
+
+    def __repr__(self) -> str:
+        return (
+            f"<JobDispatcher mode={self.mode.value} policy={self.policy.name} "
+            f"inflight={len(self._inflight)}>"
+        )
+
+    # -- engine mapping ----------------------------------------------------
+
+    def device_index_for(self, vp: str) -> int:
+        """The device a VP is bound to (assigned round-robin on first use)."""
+        if vp not in self._vp_device:
+            self._vp_device[vp] = len(self._vp_device) % len(self.gpus)
+        return self._vp_device[vp]
+
+    def _bind_device(self, job: Job) -> None:
+        if job.members:
+            return  # merged jobs carry their members' device
+        job.device = self.device_index_for(job.vp)
+
+    def _gpu_of(self, job: Job) -> HostGPU:
+        return self.gpus[job.device]
+
+    def _engine_for(self, job: Job) -> Optional[Engine]:
+        gpu = self._gpu_of(job)
+        if job.kind is JobKind.COPY_H2D:
+            return gpu.h2d_engine
+        if job.kind is JobKind.COPY_D2H:
+            return gpu.d2h_engine
+        if job.kind is JobKind.KERNEL:
+            return gpu.compute_engine
+        return None
+
+    def _engine_has_room(self, job: Job) -> bool:
+        """Keep engine queues shallow so the policy re-decides per slot."""
+        engine = self._engine_for(job)
+        if engine is None:
+            return True
+        return engine.queued == 0
+
+    # -- main loop -------------------------------------------------------------
+
+    def _run(self):
+        while True:
+            if self.coalescer is not None:
+                self.coalescer.coalesce_pass(self.queue)
+
+            job, deadline = self._choose()
+            if job is None:
+                yield self._idle_event(deadline)
+                continue
+
+            self.queue.remove(job)
+            expected = self._expected_ms(job)
+            self.backlog.add(job, expected)
+            self._inflight[job.vp] = job
+            self.stats.dispatched[job.kind] += 1
+            execution = self.env.process(self._execute(job, expected))
+            if self.mode is ServiceMode.SERIAL:
+                yield execution
+
+    def _choose(self):
+        """Next dispatchable job per the policy, and the earliest hold
+        deadline if everything is being held for coalescing."""
+        heads = self.queue.heads_per_vp()
+        candidates: List[Job] = []
+        deadlines: List[float] = []
+        for job in heads.values():
+            if job.vp in self._inflight:
+                continue
+            if self.queue.barred(job.vp, job.seq):
+                continue
+            if any(not dep.processed for dep in job.depends_on):
+                continue
+            self._bind_device(job)
+            if not self._engine_has_room(job):
+                continue
+            if self.coalescer is not None:
+                deadline = self.coalescer.hold_deadline(self.queue, job)
+                if deadline is not None:
+                    deadlines.append(deadline)
+                    continue
+            candidates.append(job)
+        choice = self.policy.select(candidates, self.backlog)
+        earliest = min(deadlines) if deadlines else None
+        return choice, earliest
+
+    def _idle_event(self, hold_deadline: Optional[float]) -> Event:
+        """Event that fires when dispatching might become possible again."""
+        self.stats.busy_waits += 1
+        events = [self.queue.arrival_event(), self._wake]
+        if hold_deadline is not None and hold_deadline > self.env.now:
+            events.append(self.env.timeout(hold_deadline - self.env.now))
+        return self.env.any_of(events)
+
+    def _signal(self) -> None:
+        wake, self._wake = self._wake, self.env.event()
+        wake.succeed()
+
+    # -- job execution -------------------------------------------------------------
+
+    def _expected_ms(self, job: Job) -> float:
+        gpu = self._gpu_of(job)
+        if job.kind is JobKind.EVENT:
+            return 0.0
+        if job.kind in (JobKind.MALLOC, JobKind.FREE):
+            return HOST_CALL_MS
+        if job.is_copy:
+            return gpu.arch.copy_time_ms(job.nbytes)
+        assert job.is_kernel
+        compiled = gpu.compiler.compile(job.kernel, gpu.arch)
+        return PROFILING_OVERHEAD_MS + gpu.timing.kernel_time_ms(
+            compiled, job.launch
+        )
+
+    def _execute(self, job: Job, expected_ms: float):
+        job.dispatched_at_ms = self.env.now
+        gpu = self._gpu_of(job)
+        try:
+            if job.kind is JobKind.EVENT:
+                # A record point: deliver the stream timestamp.
+                yield self.env.timeout(0.0)
+                if job.sink is not None:
+                    job.sink(self.env.now)
+            elif job.kind is JobKind.MALLOC:
+                yield self.env.timeout(HOST_CALL_MS)
+                buffer = gpu.malloc(job.size, owner=job.vp)
+                self.handles.bind(job.handle, buffer)
+            elif job.kind is JobKind.FREE:
+                yield self.env.timeout(HOST_CALL_MS)
+                gpu.free(self.handles.release(job.handle))
+            elif job.kind is JobKind.COPY_H2D:
+                yield self._run_on_engine(
+                    gpu.h2d_engine, job, expected_ms, self._apply_h2d(job)
+                )
+                gpu.bytes_copied_h2d += job.nbytes
+            elif job.kind is JobKind.COPY_D2H:
+                yield self._run_on_engine(
+                    gpu.d2h_engine, job, expected_ms, self._apply_d2h(job)
+                )
+                gpu.bytes_copied_d2h += job.nbytes
+            elif job.kind is JobKind.KERNEL:
+                compiled = gpu.compiler.compile(job.kernel, gpu.arch)
+                profile = gpu.timing.execute(compiled, job.launch)
+                if self.profiler is not None:
+                    self.profiler.record(job, profile)
+                yield self._run_on_engine(
+                    gpu.compute_engine, job, expected_ms, self._apply_kernel(job)
+                )
+            else:  # pragma: no cover - enum is exhaustive
+                raise RuntimeError(f"unhandled job kind {job.kind}")
+        except BaseException as exc:
+            # Surface the failure to the requesting VP (e.g. device OOM),
+            # mirroring a CUDA error return.
+            job.completion.fail(exc)
+            raise
+        finally:
+            self.backlog.retire(job, expected_ms)
+            self._inflight.pop(job.vp, None)
+            self._signal()
+        self._complete(job)
+
+    def _run_on_engine(self, engine: Engine, job: Job, duration_ms: float, apply):
+        op = engine.submit(
+            label=f"{job.kind.name}:{job.vp}#{job.seq}",
+            duration_ms=duration_ms,
+            on_complete=apply,
+            job_id=job.job_id,
+        )
+        return op.done
+
+    def _complete(self, job: Job) -> None:
+        job.completed_at_ms = self.env.now
+        self.stats.completed += 1
+        self.completed_log.append(job)
+        for member in job.members:
+            # Recursive: members may themselves be merged jobs.
+            self._complete(member)
+        job.completion.succeed(job)
+
+    # -- functional effects -----------------------------------------------------------
+
+    def _effective_members(self, job: Job) -> List[Job]:
+        return job.members if job.members else [job]
+
+    def _apply_h2d(self, job: Job):
+        def apply() -> None:
+            for member in self._effective_members(job):
+                if member.host_data is not None and member.handle is not None:
+                    buffer = self.handles.buffer(member.handle)
+                    buffer.payload = np.array(member.host_data, copy=True)
+
+        return apply
+
+    def _apply_d2h(self, job: Job):
+        def apply() -> None:
+            for member in self._effective_members(job):
+                if member.sink is not None and member.handle is not None:
+                    member.sink(self.handles.buffer(member.handle).payload)
+
+        return apply
+
+    def _apply_kernel(self, job: Job):
+        def apply() -> None:
+            for member in self._effective_members(job):
+                if member.kernel is None or member.out_handle is None:
+                    continue
+                fn = self.registry.get(member.kernel.signature)
+                if fn is None:
+                    continue
+                inputs = [
+                    self.handles.buffer(h).payload for h in member.arg_handles
+                ]
+                result = fn(*inputs, **member.params)
+                self.handles.buffer(member.out_handle).payload = result
+
+        return apply

@@ -1,0 +1,56 @@
+"""Analytical models of Kernel Interleaving (paper Eq. 7 and Eq. 8).
+
+These closed forms are what Fig. 9 plots as the "Expected" curves; the
+benchmarks compare them against the discrete-event measurements.
+
+Each interleaved program is the loop the paper describes: "a memory copy
+from host to device, a kernel execution, and a memory copy from device to
+host".
+"""
+
+from __future__ import annotations
+
+
+def serial_total_time(n_programs: int, t_copy_ms: float, t_kernel_ms: float) -> float:
+    """Total time without interleaving: every phase fully serialized.
+
+    With Tm = Tk = T this is the paper's 3NT reference.
+    """
+    _validate(n_programs, t_copy_ms, t_kernel_ms)
+    return n_programs * (2.0 * t_copy_ms + t_kernel_ms)
+
+
+def interleaved_total_time(n_programs: int, t_copy_ms: float, t_kernel_ms: float) -> float:
+    """Eq. (7): Ttotal = 2*Tm + N * max(Tm, Tk).
+
+    The first input copy and the last output copy are exposed; everything
+    in between pipelines at the pace of the slower engine (latency
+    hiding).
+    """
+    _validate(n_programs, t_copy_ms, t_kernel_ms)
+    return 2.0 * t_copy_ms + n_programs * max(t_copy_ms, t_kernel_ms)
+
+
+def expected_speedup(n_programs: int, t_copy_ms: float, t_kernel_ms: float) -> float:
+    """Interleaving speedup for arbitrary Tm, Tk (the Fig. 9a curve)."""
+    return serial_total_time(n_programs, t_copy_ms, t_kernel_ms) / interleaved_total_time(
+        n_programs, t_copy_ms, t_kernel_ms
+    )
+
+
+def balanced_speedup(n_programs: int) -> float:
+    """Eq. (8): speedup = 3N / (2 + N) when Tm = Tk (the Fig. 9b curve).
+
+    Approaches 3x asymptotically — the three pipeline phases fully
+    overlapped.
+    """
+    if n_programs <= 0:
+        raise ValueError(f"n_programs must be positive, got {n_programs}")
+    return 3.0 * n_programs / (2.0 + n_programs)
+
+
+def _validate(n_programs: int, t_copy_ms: float, t_kernel_ms: float) -> None:
+    if n_programs <= 0:
+        raise ValueError(f"n_programs must be positive, got {n_programs}")
+    if t_copy_ms < 0 or t_kernel_ms < 0:
+        raise ValueError("phase times must be non-negative")

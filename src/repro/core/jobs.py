@@ -1,0 +1,221 @@
+"""Job requests and the host-side Job Queue.
+
+Every CUDA call a virtual platform makes arrives on the host as a
+:class:`Job` pushed into the :class:`JobQueue` by the IPC manager (paper
+Fig. 2).  The Re-scheduler inspects and reorders/merges the queue under
+one invariant: **per-VP partial order** — jobs from the same VP must
+dispatch in their original sequence, while jobs from different VPs may be
+freely reordered (paper Section 2: "reorders the asynchronous kernel jobs
+in the Job Queue by keeping a partial order in the original VP").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..kernels.ir import KernelIR
+from ..kernels.launch import LaunchConfig
+from ..sim import Environment, Event
+
+
+class JobKind(enum.Enum):
+    """The operation a job asks the host GPU to perform."""
+
+    MALLOC = "malloc"
+    FREE = "free"
+    COPY_H2D = "copy_h2d"
+    COPY_D2H = "copy_d2h"
+    KERNEL = "kernel"
+    EVENT = "event"  # cudaEventRecord marker: timestamps stream progress
+
+    def __repr__(self) -> str:
+        return f"JobKind.{self.name}"
+
+
+#: Job kinds the copy engine serves.
+COPY_KINDS = (JobKind.COPY_H2D, JobKind.COPY_D2H)
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One GPU request from a VP, as seen by the host."""
+
+    vp: str
+    seq: int
+    kind: JobKind
+    completion: Event
+    # Copies:
+    nbytes: int = 0
+    handle: Optional[str] = None
+    host_data: Optional[np.ndarray] = None
+    sink: Optional[Callable[[Any], None]] = None
+    # Kernels:
+    kernel: Optional[KernelIR] = None
+    launch: Optional[LaunchConfig] = None
+    arg_handles: Sequence[str] = ()
+    out_handle: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    # Mallocs:
+    size: int = 0
+    # Coalescing: a merged job lists the member jobs it stands for.
+    members: List["Job"] = field(default_factory=list)
+    # Cross-VP dependencies: events that must have fired before this job
+    # may dispatch (used when a merged kernel keeps its members' copies
+    # as individual jobs).
+    depends_on: List[Event] = field(default_factory=list)
+    # Multi-GPU hosts: index of the device this job is bound to (set by
+    # the dispatcher from the VP's affinity, or by the coalescer for
+    # merged jobs).  0 on single-GPU hosts.
+    device: int = 0
+    # Bookkeeping:
+    sync: bool = True
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    submitted_at_ms: float = 0.0
+    dispatched_at_ms: Optional[float] = None
+    completed_at_ms: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(#{self.job_id} {self.kind.name} vp={self.vp!r} seq={self.seq})"
+        )
+
+    @property
+    def is_copy(self) -> bool:
+        return self.kind in COPY_KINDS
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.kind is JobKind.KERNEL
+
+    @property
+    def coalesce_key(self) -> Optional[tuple]:
+        """Identity key for Kernel Coalescing: same code, same geometry.
+
+        Two kernel jobs coalesce when they run the *identical kernel*
+        with the same block size — they then process different data
+        chunks of one merged launch.  Identity is structural (the
+        Kernel Match submodule of paper Fig. 2): each VP runs its own
+        binary, so the match is on the kernel's code digest, not on a
+        name the guests happen to share.
+        """
+        if not self.is_kernel or self.kernel is None or self.launch is None:
+            return None
+        from .kernel_match import match_key  # local: avoid import cycle
+
+        return match_key(self.kernel, self.launch.block_size)
+
+
+class JobQueue:
+    """The host-side queue of pending jobs.
+
+    Plain-list storage (not a heap) because the Re-scheduler's whole
+    purpose is to inspect and reorder it.  Consumers wait on
+    :meth:`wait_for_job` events that fire whenever new work arrives.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._jobs: List[Job] = []
+        self._arrival_waiters: List[Event] = []
+        self._barriers: Dict[str, tuple] = {}
+        self.total_enqueued = 0
+        #: Bumped on every structural change; lets observers cache scans.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs)
+
+    @property
+    def jobs(self) -> List[Job]:
+        """Snapshot of pending jobs in current queue order."""
+        return list(self._jobs)
+
+    def put(self, job: Job) -> None:
+        job.submitted_at_ms = self.env.now
+        self._jobs.append(job)
+        self.total_enqueued += 1
+        self.version += 1
+        waiters, self._arrival_waiters = self._arrival_waiters, []
+        for waiter in waiters:
+            waiter.succeed(job)
+
+    def arrival_event(self) -> Event:
+        """Event firing at the next :meth:`put` (strictly in the future)."""
+        event = self.env.event()
+        self._arrival_waiters.append(event)
+        return event
+
+    def remove(self, job: Job) -> None:
+        try:
+            self._jobs.remove(job)
+        except ValueError:
+            raise RuntimeError(f"{job!r} is not in the queue") from None
+        self.version += 1
+
+    def replace(self, members: Sequence[Job], merged: Job) -> None:
+        """Swap ``members`` for one ``merged`` job at the earliest slot.
+
+        The merged job takes the queue position of the earliest member so
+        coalescing never delays work behind unrelated jobs.
+        """
+        if not members:
+            raise ValueError("replace requires at least one member")
+        indices = [self._jobs.index(m) for m in members]
+        insert_at = min(indices)
+        for member in members:
+            self._jobs.remove(member)
+        self._jobs.insert(min(insert_at, len(self._jobs)), merged)
+        self.version += 1
+
+    def set_barrier(self, vp: str, until: Event, exempt_below_seq: int = 0) -> None:
+        """Block dispatching ``vp``'s jobs until ``until`` fires.
+
+        Kernel Coalescing uses this: once a VP's jobs were absorbed into
+        a merged triple, its *next* jobs must not overtake the merged
+        stages still executing on the VP's behalf.  Jobs with
+        ``seq < exempt_below_seq`` are exempt — they are the triple's own
+        unmerged input copies, which the merged kernel waits for.
+        """
+        self._barriers[vp] = (until, exempt_below_seq)
+
+    def barred(self, vp: str, seq: Optional[int] = None) -> bool:
+        """True while ``vp`` is behind an active coalescing barrier."""
+        barrier = self._barriers.get(vp)
+        if barrier is None:
+            return False
+        until, exempt_below_seq = barrier
+        if until.processed:
+            del self._barriers[vp]
+            return False
+        if seq is not None and seq < exempt_below_seq:
+            return False
+        return True
+
+    def heads_per_vp(self) -> Dict[str, Job]:
+        """The earliest pending job of each VP — the dispatchable set.
+
+        Dispatching only per-VP heads preserves the per-VP partial order
+        by construction, whatever cross-VP order a policy picks.
+        """
+        heads: Dict[str, Job] = {}
+        for job in self._jobs:
+            if job.vp not in heads or job.seq < heads[job.vp].seq:
+                heads[job.vp] = job
+        return heads
+
+    def pending_for(self, vp: str) -> List[Job]:
+        return [job for job in self._jobs if job.vp == vp]
+
+    def kernels_matching(self, key: tuple) -> List[Job]:
+        """Pending kernel jobs with the given coalesce key."""
+        return [job for job in self._jobs if job.coalesce_key == key]

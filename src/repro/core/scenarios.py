@@ -1,0 +1,197 @@
+"""Comparative execution scenarios: the paper's evaluation routes.
+
+Table 1 and Fig. 11 compare the same applications along different
+execution routes.  Each function here runs one route end to end in a
+fresh simulation environment and returns a :class:`ScenarioResult`:
+
+* :func:`run_native_gpu` — CUDA on the (modelled) host GPU, no VP;
+* :func:`run_emulation` — CUDA interpreted in software on a CPU model
+  (the host Xeon, or the binary-translated QEMU ARM VP);
+* :func:`run_sigma_vp` — the paper's contribution, with interleaving
+  and coalescing switchable;
+* :func:`run_c_program` — the plain-C implementation on a CPU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..gpu.arch import GPUArchitecture, QUADRO_4000
+from ..gpu.device import HostGPU
+from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..sim import Environment
+from ..vp.cpu import CPUModel, HOST_XEON, QEMU_ARM_VP
+from ..vp.cuda_runtime import CudaRuntime, EmulationBackend, NativeGPUBackend
+from ..vp.platform import VirtualPlatform
+from ..workloads.base import WorkloadSpec, build_app
+from .framework import SigmaVP
+from .ipc import IPCTransport, SOCKET
+
+#: Registry used when functional (numpy) execution is switched off:
+#: timing-only runs, as used by the parameter-sweep benchmarks.
+NULL_REGISTRY = FunctionalRegistry()
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one execution route."""
+
+    scenario: str
+    workload: str
+    n_instances: int
+    total_ms: float
+    per_instance_ms: List[float] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioResult({self.scenario!r}, {self.workload!r}, "
+            f"n={self.n_instances}, total={self.total_ms:.2f}ms)"
+        )
+
+
+def _registry(functional: bool) -> FunctionalRegistry:
+    return REGISTRY if functional else NULL_REGISTRY
+
+
+def run_native_gpu(
+    spec: WorkloadSpec,
+    functional: bool = False,
+    host_arch: GPUArchitecture = QUADRO_4000,
+) -> ScenarioResult:
+    """CUDA executed natively on the host GPU (Table 1, row 1)."""
+    env = Environment()
+    gpu = HostGPU(env, host_arch)
+    host = VirtualPlatform(env, "host", cpu=HOST_XEON)
+    backend = NativeGPUBackend(env, gpu, host, registry=_registry(functional))
+    runtime = CudaRuntime(backend)
+    process = host.run_app(build_app(spec, runtime))
+    env.run(process)
+    return ScenarioResult(
+        scenario="native-gpu",
+        workload=spec.name,
+        n_instances=1,
+        total_ms=env.now,
+        per_instance_ms=[env.now],
+        extras={"result": process.value},
+    )
+
+
+def run_emulation(
+    spec: WorkloadSpec,
+    n_instances: int = 1,
+    cpu: CPUModel = QEMU_ARM_VP,
+    functional: bool = False,
+    concurrent: bool = False,
+) -> ScenarioResult:
+    """CUDA interpreted in software (Table 1 rows 2-3; Fig. 11 blue bars).
+
+    ``cpu=HOST_XEON`` is "CUDA Emul. on CPU"; ``cpu=QEMU_ARM_VP`` is
+    "CUDA Emul. on VP".
+
+    By default instances run *serialized*, reflecting the premise the
+    paper opens with: "most of the current multi-node system simulators
+    run the entire simulation on the host CPU" — the eight-VP emulation
+    baseline of Fig. 11 advances one platform at a time.  Pass
+    ``concurrent=True`` to model one host core per VP instead.
+    """
+    if n_instances <= 0:
+        raise ValueError(f"n_instances must be positive, got {n_instances}")
+    env = Environment()
+    registry = _registry(functional)
+    processes = []
+    platforms = []
+
+    def serialized():
+        for index in range(n_instances):
+            platform = VirtualPlatform(env, f"emu{index}", cpu=cpu)
+            backend = EmulationBackend(env, platform, registry=registry)
+            runtime = CudaRuntime(backend)
+            process = platform.run_app(build_app(spec, runtime, seed=index))
+            platforms.append(platform)
+            processes.append(process)
+            yield process
+
+    if concurrent:
+        for index in range(n_instances):
+            platform = VirtualPlatform(env, f"emu{index}", cpu=cpu)
+            backend = EmulationBackend(env, platform, registry=registry)
+            runtime = CudaRuntime(backend)
+            processes.append(platform.run_app(build_app(spec, runtime, seed=index)))
+            platforms.append(platform)
+        env.run(env.all_of(processes))
+    else:
+        driver = env.process(serialized())
+        env.run(driver)
+
+    return ScenarioResult(
+        scenario=f"emulation({cpu.name})",
+        workload=spec.name,
+        n_instances=n_instances,
+        total_ms=env.now,
+        per_instance_ms=[p.elapsed_ms or 0.0 for p in platforms],
+        extras={"result": processes[0].value, "concurrent": concurrent},
+    )
+
+
+def run_sigma_vp(
+    spec: WorkloadSpec,
+    n_vps: int = 1,
+    interleaving: bool = True,
+    coalescing: bool = True,
+    transport: IPCTransport = SOCKET,
+    functional: bool = False,
+    host_arch: GPUArchitecture = QUADRO_4000,
+    max_batch: int = 64,
+    hold_window_ms: Optional[float] = None,
+    n_host_gpus: int = 1,
+) -> ScenarioResult:
+    """The SigmaVP pipeline (Table 1 row 4; Fig. 11 speedup lines)."""
+    if n_vps <= 0:
+        raise ValueError(f"n_vps must be positive, got {n_vps}")
+    framework = SigmaVP(
+        host_arch=host_arch,
+        transport=transport,
+        interleaving=interleaving,
+        coalescing=coalescing,
+        max_batch=max_batch,
+        hold_window_ms=hold_window_ms,
+        registry=_registry(functional),
+        n_vps=n_vps,
+        n_host_gpus=n_host_gpus,
+    )
+    total = framework.run_workload(spec)
+    sessions = [framework.session(n) for n in sorted(framework.sessions)]
+    return ScenarioResult(
+        scenario=f"sigma-vp(interleave={interleaving}, coalesce={coalescing})",
+        workload=spec.name,
+        n_instances=n_vps,
+        total_ms=total,
+        per_instance_ms=[s.vp.elapsed_ms or 0.0 for s in sessions],
+        extras={
+            "framework": framework,
+            "result": sessions[0].processes[0].value if sessions[0].processes else None,
+            "coalesce_stats": framework.coalescer.stats if framework.coalescer else None,
+            "ipc_messages": framework.ipc.messages_sent,
+        },
+    )
+
+
+def run_c_program(spec: WorkloadSpec, cpu: CPUModel = HOST_XEON,
+                  n_instances: int = 1) -> ScenarioResult:
+    """The plain-C implementation on a CPU model (Table 1 rows 5-6).
+
+    Instances are independent processes on independent cores, so the
+    total equals one instance's time.
+    """
+    if spec.c_ops <= 0:
+        raise ValueError(f"{spec.name} has no C-implementation op count")
+    per_instance = cpu.time_for_ops(spec.c_ops)
+    return ScenarioResult(
+        scenario=f"c-program({cpu.name})",
+        workload=spec.name,
+        n_instances=n_instances,
+        total_ms=per_instance,
+        per_instance_ms=[per_instance] * n_instances,
+    )

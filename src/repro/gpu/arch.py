@@ -1,0 +1,311 @@
+"""GPU architecture descriptions.
+
+The paper's experiments use three physical GPUs: two host GPUs (NVIDIA
+Quadro 4000, a Fermi part, and Grid K520, a Kepler part) and one embedded
+target GPU (the Tegra K1's GK20A Kepler SMX).  This module captures each
+as a :class:`GPUArchitecture` record whose parameters come from public
+spec sheets, with microarchitectural details (issue costs, miss penalties)
+set to spec-plausible values; they are the knobs the timing model of
+:mod:`repro.gpu.timing` consumes.
+
+Conventions used throughout the project:
+
+* time is in **milliseconds**, bandwidth in **GB/s**, clocks in **MHz**;
+* ``warp_issue_cycles[i]`` is the number of cycles one warp scheduler
+  spends to issue one warp-instruction of type ``i`` (reciprocal
+  throughput — e.g. 12 for FP64 on Kepler's 1/24-rate consumer parts);
+* "elapsed cycles" means wall-clock cycles of the GPU clock domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping
+
+from ..kernels.ir import ALL_TYPES, InstructionType
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Last-level data cache geometry used by the probabilistic model."""
+
+    size_kb: int
+    line_bytes: int
+    associativity: int
+    miss_penalty_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.miss_penalty_cycles < 0:
+            raise ValueError("miss penalty must be non-negative")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size_kb * 1024
+
+
+def _freeze(mapping: Mapping[InstructionType, float]) -> Mapping[InstructionType, float]:
+    complete = {t: float(mapping.get(t, 1.0)) for t in ALL_TYPES}
+    return MappingProxyType(complete)
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """A complete architectural description of one GPU."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    schedulers_per_sm: int
+    clock_mhz: float
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    warp_size: int
+    warp_issue_cycles: Mapping[InstructionType, float]
+    cache: CacheGeometry
+    memory_bandwidth_gbps: float
+    copy_bandwidth_gbps: float
+    copy_latency_ms: float
+    kernel_launch_overhead_ms: float
+    static_power_w: float
+    instruction_energy_nj: Mapping[InstructionType, float]
+    #: Energy of one DRAM line fill (nJ).  Dissipated by real hardware
+    #: (and therefore present in *measured* power) but not part of the
+    #: paper's per-instruction power model Eq. (6) — the main source of
+    #: the estimate-vs-measurement gap in Fig. 13.
+    dram_access_energy_nj: float = 15.0
+    compile_expansion: Mapping[InstructionType, float] = field(
+        default_factory=lambda: _freeze({})
+    )
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.cores_per_sm <= 0 or self.schedulers_per_sm <= 0:
+            raise ValueError(f"{self.name}: SM parameters must be positive")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"{self.name}: clock must be positive")
+        if self.warp_size <= 0:
+            raise ValueError(f"{self.name}: warp size must be positive")
+        object.__setattr__(self, "warp_issue_cycles", _freeze(self.warp_issue_cycles))
+        object.__setattr__(
+            self, "instruction_energy_nj", _freeze(self.instruction_energy_nj)
+        )
+        object.__setattr__(self, "compile_expansion", _freeze(self.compile_expansion))
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def clock_khz(self) -> float:
+        """Cycles per millisecond."""
+        return self.clock_mhz * 1e3
+
+    @property
+    def concurrent_threads(self) -> int:
+        """Maximum threads resident on the device at once.
+
+        This is the paper's alignment unit lambda in Eq. (9): a launch
+        whose thread count is not a multiple of it wastes part of its
+        final wave.
+        """
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def ipc_peak(self) -> float:
+        """Peak thread-instructions per elapsed cycle (Eq. 2's IPC_max).
+
+        Each scheduler can issue one warp (``warp_size`` thread
+        instructions) per cycle at best-case reciprocal throughput 1.
+        """
+        return self.sm_count * self.schedulers_per_sm * self.warp_size
+
+    def device_issue_cycles(self, itype: InstructionType) -> float:
+        """Elapsed cycles per *thread* instruction of ``itype`` at full
+        occupancy — the device-level interpretation of the paper's
+        per-type latency tau_{i,T} in Eq. (3)."""
+        return self.warp_issue_cycles[itype] / (
+            self.sm_count * self.schedulers_per_sm * self.warp_size
+        )
+
+    def concurrent_blocks(self, block_size: int) -> int:
+        """How many thread blocks of ``block_size`` fit on the device."""
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        per_sm = min(
+            self.max_blocks_per_sm,
+            max(1, self.max_threads_per_sm // block_size),
+        )
+        return self.sm_count * per_sm
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.clock_khz
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return ms * self.clock_khz
+
+    def copy_time_ms(self, num_bytes: int) -> float:
+        """Copy-engine transfer time for ``num_bytes`` over the host link."""
+        if num_bytes < 0:
+            raise ValueError(f"negative byte count {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        gb = num_bytes / 1e9
+        return self.copy_latency_ms + (gb / self.copy_bandwidth_gbps) * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Catalog.  Parameters from public spec sheets; issue costs follow the
+# documented per-generation throughput ratios (e.g. Quadro 4000 is a
+# half-rate FP64 Fermi; GK104/GK20A Keplers are 1/24-rate FP64).
+# ---------------------------------------------------------------------------
+
+QUADRO_4000 = GPUArchitecture(
+    name="Quadro 4000",
+    sm_count=8,
+    cores_per_sm=32,
+    schedulers_per_sm=2,
+    clock_mhz=950.0,
+    # Effective resident threads per SM.  The architectural limit is
+    # 1536, but register pressure holds real occupancy at 1024, which is
+    # what the paper's own alignment data shows: equal times for grids 9
+    # and 16 at 512-thread blocks imply lambda = 16 * 512 = 8192 threads
+    # device-wide (Section 5, Fig. 10b).
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=8,
+    warp_size=32,
+    warp_issue_cycles={
+        InstructionType.FP32: 1.0,
+        InstructionType.FP64: 2.0,
+        InstructionType.INT: 1.0,
+        InstructionType.BIT: 1.0,
+        InstructionType.BRANCH: 2.0,
+        InstructionType.LOAD: 2.0,
+        InstructionType.STORE: 2.0,
+    },
+    cache=CacheGeometry(size_kb=512, line_bytes=128, associativity=16,
+                        miss_penalty_cycles=400.0),
+    memory_bandwidth_gbps=89.6,
+    copy_bandwidth_gbps=4.0,
+    copy_latency_ms=0.015,
+    kernel_launch_overhead_ms=0.012,
+    static_power_w=32.0,
+    dram_access_energy_nj=28.0,
+    instruction_energy_nj={
+        InstructionType.FP32: 0.25,
+        InstructionType.FP64: 0.60,
+        InstructionType.INT: 0.15,
+        InstructionType.BIT: 0.10,
+        InstructionType.BRANCH: 0.12,
+        InstructionType.LOAD: 0.45,
+        InstructionType.STORE: 0.45,
+    },
+)
+
+GRID_K520 = GPUArchitecture(
+    # One of the two GK104 GPUs on the Grid K520 board.
+    name="Grid K520",
+    sm_count=8,
+    cores_per_sm=192,
+    schedulers_per_sm=4,
+    clock_mhz=800.0,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    warp_size=32,
+    warp_issue_cycles={
+        InstructionType.FP32: 0.5,
+        InstructionType.FP64: 12.0,
+        InstructionType.INT: 0.75,
+        InstructionType.BIT: 0.75,
+        InstructionType.BRANCH: 1.0,
+        InstructionType.LOAD: 1.0,
+        InstructionType.STORE: 1.0,
+    },
+    cache=CacheGeometry(size_kb=512, line_bytes=128, associativity=16,
+                        miss_penalty_cycles=350.0),
+    memory_bandwidth_gbps=160.0,
+    copy_bandwidth_gbps=5.0,
+    copy_latency_ms=0.012,
+    kernel_launch_overhead_ms=0.010,
+    static_power_w=38.0,
+    dram_access_energy_nj=22.0,
+    instruction_energy_nj={
+        InstructionType.FP32: 0.18,
+        InstructionType.FP64: 0.50,
+        InstructionType.INT: 0.11,
+        InstructionType.BIT: 0.08,
+        InstructionType.BRANCH: 0.09,
+        InstructionType.LOAD: 0.35,
+        InstructionType.STORE: 0.35,
+    },
+    compile_expansion={
+        # Kepler's compiler schedules slightly differently from Fermi.
+        InstructionType.INT: 0.97,
+        InstructionType.BRANCH: 0.95,
+    },
+)
+
+TEGRA_K1 = GPUArchitecture(
+    # GK20A: one Kepler SMX on a mobile SoC with a small L2 and LPDDR3.
+    name="Tegra K1",
+    sm_count=1,
+    cores_per_sm=192,
+    schedulers_per_sm=4,
+    clock_mhz=852.0,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    warp_size=32,
+    warp_issue_cycles={
+        InstructionType.FP32: 0.5,
+        InstructionType.FP64: 12.0,
+        InstructionType.INT: 0.75,
+        InstructionType.BIT: 0.75,
+        InstructionType.BRANCH: 1.0,
+        InstructionType.LOAD: 1.5,
+        InstructionType.STORE: 1.5,
+    },
+    cache=CacheGeometry(size_kb=128, line_bytes=128, associativity=8,
+                        miss_penalty_cycles=650.0),
+    memory_bandwidth_gbps=14.9,
+    copy_bandwidth_gbps=5.0,  # unified memory: cudaMemcpy is a DRAM copy
+    copy_latency_ms=0.020,
+    kernel_launch_overhead_ms=0.030,
+    static_power_w=1.4,
+    dram_access_energy_nj=3.2,
+    instruction_energy_nj={
+        InstructionType.FP32: 0.045,
+        InstructionType.FP64: 0.14,
+        InstructionType.INT: 0.028,
+        InstructionType.BIT: 0.020,
+        InstructionType.BRANCH: 0.024,
+        InstructionType.LOAD: 0.085,
+        InstructionType.STORE: 0.085,
+    },
+    compile_expansion={
+        # The embedded toolchain emits more scaffolding per block
+        # (paper Fig. 8: 32 instructions on host vs 43 on target).
+        InstructionType.INT: 1.20,
+        InstructionType.BIT: 1.15,
+        InstructionType.BRANCH: 1.25,
+        InstructionType.FP64: 1.10,
+        InstructionType.LOAD: 1.10,
+        InstructionType.STORE: 1.10,
+    },
+)
+
+#: All catalogued GPU architectures by name.
+CATALOG: Dict[str, GPUArchitecture] = {
+    arch.name: arch for arch in (QUADRO_4000, GRID_K520, TEGRA_K1)
+}
+
+
+def get_architecture(name: str) -> GPUArchitecture:
+    """Look up a catalogued architecture by its exact name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown GPU architecture {name!r}; known: {known}") from None

@@ -1,0 +1,177 @@
+"""Probabilistic data-cache behaviour model.
+
+The paper's third timing estimate C'' (Eq. 5) replaces the *measured*
+data-dependency stalls on the host GPU with *predicted* stalls for the
+target, "calculated combining the probabilistic data-cache behavior model
+[17] and the details of the host GPU architecture (e.g. the main memory
+size, the cache size and associativity)".
+
+This module implements that probabilistic model.  Given a kernel's memory
+footprint and a cache geometry it predicts a hit probability and, from the
+launch's total memory accesses, the expected miss count and the exposed
+data-dependency stall cycles Upsilon[data]{K,T}.
+
+The model decomposes accesses into:
+
+* **reuse accesses** (fraction = footprint.locality) that hit when the
+  working set fits in the cache, degraded by a conflict term derived from
+  associativity and by a coverage term when the working set exceeds the
+  cache;
+* **streaming accesses** whose hits come only from spatial locality
+  within a cache line, scaled by the warp-coalescing quality.
+
+GPUs hide most memory latency by switching among resident warps, so only
+a fraction of each miss's penalty is *exposed* as a pipeline stall; that
+fraction shrinks with occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..kernels.ir import MemoryFootprint
+from .arch import CacheGeometry, GPUArchitecture
+
+#: Typical access granularity assumed for spatial-locality hits (bytes).
+ACCESS_GRANULARITY_BYTES = 8.0
+
+#: Resident warps per scheduler at which latency hiding saturates.
+HIDING_SATURATION_WARPS = 12.0
+
+#: Upper bound on the fraction of miss latency that warp switching hides.
+MAX_HIDING = 0.92
+
+
+@dataclass(frozen=True)
+class CacheBehavior:
+    """Predicted cache behaviour of one kernel launch on one cache."""
+
+    accesses: float
+    hit_probability: float
+    hits: float
+    misses: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hit_probability <= 1.0:
+            raise ValueError(f"hit probability out of range: {self.hit_probability}")
+
+
+def conflict_miss_probability(cache: CacheGeometry, pressure: float) -> float:
+    """Probability a reuse access conflicts out despite capacity fitting.
+
+    ``pressure`` is working-set bytes / cache bytes.  Higher associativity
+    suppresses conflicts geometrically; pressure close to 1 increases them.
+    """
+    pressure = max(0.0, min(1.0, pressure))
+    base = 1.0 / (cache.associativity + 1.0)
+    return base * pressure
+
+
+def hit_probability(footprint: MemoryFootprint, cache: CacheGeometry) -> float:
+    """Predicted hit probability for a kernel with ``footprint``."""
+    working_set = max(1, footprint.working_set_bytes)
+    coverage = min(1.0, cache.size_bytes / working_set)
+    pressure = min(1.0, working_set / cache.size_bytes)
+
+    reuse_fraction = footprint.locality
+    reuse_hit = coverage * (1.0 - conflict_miss_probability(cache, pressure))
+
+    spatial_hit = footprint.coalesced_fraction * (
+        1.0 - ACCESS_GRANULARITY_BYTES / cache.line_bytes
+    )
+
+    p = reuse_fraction * reuse_hit + (1.0 - reuse_fraction) * spatial_hit
+    return max(0.0, min(1.0, p))
+
+
+def predict_behavior(
+    footprint: MemoryFootprint, cache: CacheGeometry, accesses: float
+) -> CacheBehavior:
+    """Expected hits/misses for ``accesses`` memory instructions."""
+    if accesses < 0:
+        raise ValueError(f"negative access count {accesses}")
+    p = hit_probability(footprint, cache)
+    hits = accesses * p
+    return CacheBehavior(
+        accesses=accesses, hit_probability=p, hits=hits, misses=accesses - hits
+    )
+
+
+def latency_hiding_fraction(arch: GPUArchitecture, block_size: int, grid_size: int) -> float:
+    """Fraction of miss latency hidden by warp-level multithreading.
+
+    More resident warps per scheduler give the SM more independent work to
+    switch to while a miss is outstanding.
+    """
+    resident_blocks_per_sm = min(
+        arch.max_blocks_per_sm,
+        max(1, arch.max_threads_per_sm // block_size),
+    )
+    resident_blocks_per_sm = min(
+        resident_blocks_per_sm, max(1, math.ceil(grid_size / arch.sm_count))
+    )
+    resident_warps = resident_blocks_per_sm * max(1, block_size // arch.warp_size)
+    warps_per_scheduler = resident_warps / arch.schedulers_per_sm
+    return min(MAX_HIDING, warps_per_scheduler / HIDING_SATURATION_WARPS)
+
+
+def exposed_stall_cycles(
+    arch: GPUArchitecture,
+    footprint: MemoryFootprint,
+    accesses: float,
+    block_size: int,
+    grid_size: int,
+) -> float:
+    """Latency component of Upsilon[data]: exposed miss-penalty stalls.
+
+    Misses are spread over every scheduler in the device; each exposed
+    miss stalls its scheduler for the unhidden part of the miss penalty.
+    The returned value is in elapsed device cycles, directly comparable
+    with the ideal-cycle estimates of Eq. (3).
+    """
+    behavior = predict_behavior(footprint, arch.cache, accesses)
+    hiding = latency_hiding_fraction(arch, block_size, grid_size)
+    schedulers = arch.sm_count * arch.schedulers_per_sm
+    misses_per_scheduler = behavior.misses / schedulers
+    return misses_per_scheduler * arch.cache.miss_penalty_cycles * (1.0 - hiding)
+
+
+#: Fraction of DRAM-throughput time the SMs hide behind instruction issue
+#: before it surfaces as data-dependency stalls.
+BANDWIDTH_OVERLAP = 0.7
+
+
+def memory_throughput_cycles(
+    arch: GPUArchitecture, footprint: MemoryFootprint, accesses: float
+) -> float:
+    """Elapsed cycles to move the launch's DRAM traffic at peak bandwidth."""
+    behavior = predict_behavior(footprint, arch.cache, accesses)
+    dram_bytes = behavior.misses * arch.cache.line_bytes
+    bytes_per_cycle = arch.memory_bandwidth_gbps / arch.clock_mhz * 1e3
+    return dram_bytes / bytes_per_cycle
+
+
+def data_stall_cycles(
+    arch: GPUArchitecture,
+    footprint: MemoryFootprint,
+    accesses: float,
+    block_size: int,
+    grid_size: int,
+    issue_cycles: float,
+) -> float:
+    """Upsilon[data]{K,T}: the full data-dependency stall model.
+
+    Two mechanisms surface as data stalls: exposed miss *latency* (warp
+    switching exhausts), and DRAM *bandwidth* saturation — memory time
+    the issue stream cannot cover.  The larger of the two binds.  Both
+    the reference timing model (ground truth) and the C'' estimator use
+    this same function, mirroring the paper's use of one probabilistic
+    cache-behaviour model on both sides of Eq. (5).
+    """
+    latency_stalls = exposed_stall_cycles(
+        arch, footprint, accesses, block_size, grid_size
+    )
+    throughput = memory_throughput_cycles(arch, footprint, accesses)
+    bandwidth_stalls = max(0.0, throughput - BANDWIDTH_OVERLAP * issue_cycles)
+    return max(latency_stalls, bandwidth_stalls)

@@ -1,0 +1,137 @@
+"""The GPU's two hardware engines: copy and compute.
+
+"GPU architectures feature two types of engines that can operate in
+parallel: a Compute Engine and a Copy Engine" (paper Section 3).  Kernel
+Interleaving exists precisely because these two engines run concurrently
+but each serves its own FIFO: a poor submission order leaves one engine
+idle while the other works.
+
+Each engine is a non-preemptive FIFO server over timed operations.  It
+records a busy timeline so experiments and tests can measure utilization
+and verify overlap (the mechanism behind Fig. 3's before/after diagrams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..sim import Environment, Event, Store
+
+
+@dataclass
+class EngineOp:
+    """One timed unit of engine work.
+
+    ``done`` fires when the engine finishes; ``on_complete`` (if given)
+    runs at completion time — the functional layer uses it to apply the
+    numpy effect of the operation.
+    """
+
+    label: str
+    duration_ms: float
+    done: Event
+    on_complete: Optional[Callable[[], None]] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_ms < 0:
+            raise ValueError(f"negative duration for {self.label!r}")
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """A completed span of engine work."""
+
+    label: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+class Engine:
+    """A non-preemptive FIFO engine."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self._queue: Store = Store(env)
+        self.timeline: List[TimelineEntry] = []
+        self.busy_ms = 0.0
+        self._process = env.process(self._serve())
+
+    def __repr__(self) -> str:
+        return f"<Engine {self.name} queued={len(self._queue)} busy={self.busy_ms:.3f}ms>"
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        label: str,
+        duration_ms: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        **metadata: Any,
+    ) -> EngineOp:
+        """Enqueue work; returns the op whose ``done`` event fires at finish."""
+        op = EngineOp(
+            label=label,
+            duration_ms=duration_ms,
+            done=self.env.event(),
+            on_complete=on_complete,
+            metadata=dict(metadata),
+        )
+        self._queue.put(op)
+        return op
+
+    def _serve(self):
+        while True:
+            op: EngineOp = yield self._queue.get()
+            start = self.env.now
+            yield self.env.timeout(op.duration_ms)
+            end = self.env.now
+            self.timeline.append(TimelineEntry(op.label, start, end))
+            self.busy_ms += end - start
+            if op.on_complete is not None:
+                op.on_complete()
+            op.done.succeed(op)
+
+    def utilization(self, until_ms: Optional[float] = None) -> float:
+        """Busy fraction of the engine up to ``until_ms`` (default: now)."""
+        horizon = self.env.now if until_ms is None else until_ms
+        if horizon <= 0:
+            return 0.0
+        busy = sum(
+            max(0.0, min(entry.end_ms, horizon) - entry.start_ms)
+            for entry in self.timeline
+            if entry.start_ms < horizon
+        )
+        return busy / horizon
+
+    def idle_gaps(self) -> List[Tuple[float, float]]:
+        """(start, end) idle windows between completed operations."""
+        gaps = []
+        cursor = 0.0
+        for entry in sorted(self.timeline, key=lambda e: e.start_ms):
+            if entry.start_ms > cursor:
+                gaps.append((cursor, entry.start_ms))
+            cursor = max(cursor, entry.end_ms)
+        return gaps
+
+
+class CopyEngine(Engine):
+    """The DMA engine moving data between host and device memory."""
+
+    def __init__(self, env: Environment, name: str = "copy-engine"):
+        super().__init__(env, name)
+
+
+class ComputeEngine(Engine):
+    """The SM array executing kernels, serialized at device level."""
+
+    def __init__(self, env: Environment, name: str = "compute-engine"):
+        super().__init__(env, name)

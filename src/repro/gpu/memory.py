@@ -1,0 +1,155 @@
+"""Device memory management.
+
+Kernel Coalescing (paper Section 3, Fig. 5) requires that the data sets of
+the coalesced kernels live at *physically-contiguous* device addresses so
+one kernel instance can sweep the merged region.  The allocator therefore
+tracks real addresses and offers an explicit contiguous multi-buffer
+allocation used by the coalescer.
+
+Buffers optionally carry a numpy payload so the simulation doubles as a
+functional model: copies move arrays, kernels transform them, and the
+examples/tests can check numerical results end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class OutOfDeviceMemory(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A contiguous region of device memory."""
+
+    address: int
+    size: int
+    owner: str = ""
+    payload: Any = None
+    freed: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceBuffer(addr=0x{self.address:x}, size={self.size}, "
+            f"owner={self.owner!r})"
+        )
+
+
+class DeviceMemoryAllocator:
+    """First-fit allocator over a flat device address space."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = capacity_bytes
+        self._buffers: List[DeviceBuffer] = []  # sorted by address
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self._buffers)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def _gaps(self) -> List[Tuple[int, int]]:
+        """Free (address, size) gaps in address order."""
+        gaps = []
+        cursor = 0
+        for buf in self._buffers:
+            if buf.address > cursor:
+                gaps.append((cursor, buf.address - cursor))
+            cursor = max(cursor, buf.end)
+        if cursor < self.capacity:
+            gaps.append((cursor, self.capacity - cursor))
+        return gaps
+
+    def _insert(self, buffer: DeviceBuffer) -> None:
+        index = 0
+        while index < len(self._buffers) and self._buffers[index].address < buffer.address:
+            index += 1
+        self._buffers.insert(index, buffer)
+
+    def allocate(self, size: int, owner: str = "") -> DeviceBuffer:
+        """First-fit allocation of ``size`` bytes."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        for address, gap in self._gaps():
+            if gap >= size:
+                buffer = DeviceBuffer(address=address, size=size, owner=owner)
+                self._insert(buffer)
+                return buffer
+        raise OutOfDeviceMemory(
+            f"cannot allocate {size} bytes (free={self.free_bytes}, "
+            f"largest gap={max((g for _, g in self._gaps()), default=0)})"
+        )
+
+    def allocate_contiguous(
+        self, sizes: Sequence[int], owner: str = ""
+    ) -> List[DeviceBuffer]:
+        """Allocate several buffers guaranteed adjacent in address order.
+
+        This is the memory-merge primitive of Kernel Coalescing: the
+        returned buffers form one physically-contiguous region, so a
+        single kernel can process all of them as one data set.
+        """
+        if not sizes:
+            raise ValueError("allocate_contiguous requires at least one size")
+        for size in sizes:
+            if size <= 0:
+                raise ValueError(f"allocation sizes must be positive, got {size}")
+        total = sum(sizes)
+        for address, gap in self._gaps():
+            if gap >= total:
+                buffers = []
+                cursor = address
+                for size in sizes:
+                    buffer = DeviceBuffer(address=cursor, size=size, owner=owner)
+                    self._insert(buffer)
+                    buffers.append(buffer)
+                    cursor += size
+                return buffers
+        raise OutOfDeviceMemory(
+            f"cannot allocate {total} contiguous bytes (free={self.free_bytes})"
+        )
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        if buffer.freed:
+            raise RuntimeError(f"double free of {buffer!r}")
+        try:
+            self._buffers.remove(buffer)
+        except ValueError:
+            raise RuntimeError(f"{buffer!r} was not allocated here") from None
+        buffer.freed = True
+        buffer.payload = None
+
+    def are_contiguous(self, buffers: Sequence[DeviceBuffer]) -> bool:
+        """True if the buffers tile one gap-free address range, in order."""
+        if not buffers:
+            return False
+        ordered = sorted(buffers, key=lambda b: b.address)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.end != right.address:
+                return False
+        return True
+
+    def owned_by(self, owner: str) -> List[DeviceBuffer]:
+        return [b for b in self._buffers if b.owner == owner]
+
+    def release_owner(self, owner: str) -> int:
+        """Free every buffer belonging to ``owner``; returns bytes freed."""
+        released = 0
+        for buffer in list(self.owned_by(owner)):
+            released += buffer.size
+            self.free(buffer)
+        return released

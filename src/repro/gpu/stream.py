@@ -1,0 +1,101 @@
+"""CUDA-style streams on the modelled device.
+
+A stream is an in-order command queue: operations issued to one stream
+execute in submission order, while operations in *different* streams may
+overlap across the copy and compute engines.  SigmaVP "multiplexes the
+host GPUs to execute the request from the VPs by using separate streams
+for each VP" (paper Section 2), so streams are the unit of isolation
+between virtual platforms on the host GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..sim import Environment, Event, Store
+from .engines import Engine
+
+
+@dataclass
+class StreamCommand:
+    """One in-order command: engine work plus a completion event."""
+
+    engine: Engine
+    label: str
+    duration_ms: float
+    completion: Event
+    on_complete: Optional[Callable[[], None]] = None
+    metadata: dict = field(default_factory=dict)
+
+
+class GPUStream:
+    """An in-order command queue bound to a device's engines."""
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self._commands: Store = Store(env)
+        self._last_completion: Optional[Event] = None
+        self.issued = 0
+        self.completed = 0
+        env.process(self._pump())
+
+    def __repr__(self) -> str:
+        return (
+            f"<GPUStream {self.name} issued={self.issued} "
+            f"completed={self.completed}>"
+        )
+
+    @property
+    def pending(self) -> int:
+        return self.issued - self.completed
+
+    def enqueue(
+        self,
+        engine: Engine,
+        label: str,
+        duration_ms: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        **metadata: Any,
+    ) -> Event:
+        """Append a command; returns the event firing at its completion."""
+        completion = self.env.event()
+        command = StreamCommand(
+            engine=engine,
+            label=label,
+            duration_ms=duration_ms,
+            completion=completion,
+            on_complete=on_complete,
+            metadata=dict(metadata),
+        )
+        self._commands.put(command)
+        self._last_completion = completion
+        self.issued += 1
+        return completion
+
+    def synchronize(self) -> Event:
+        """Event firing once everything enqueued so far has completed.
+
+        Mirrors ``cudaStreamSynchronize``: if the stream is already idle
+        the event fires immediately.
+        """
+        if self._last_completion is None or self._last_completion.triggered:
+            done = self.env.event()
+            done.succeed()
+            return done
+        return self._last_completion
+
+    def _pump(self):
+        while True:
+            command: StreamCommand = yield self._commands.get()
+            op = command.engine.submit(
+                command.label,
+                command.duration_ms,
+                on_complete=command.on_complete,
+                stream=self.name,
+                **command.metadata,
+            )
+            yield op.done
+            self.completed += 1
+            command.completion.succeed(command.metadata)

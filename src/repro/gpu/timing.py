@@ -1,0 +1,215 @@
+"""Reference kernel timing model.
+
+This is the microarchitecture-level model that plays the role of *real
+hardware* in the reproduction: the host GPU device model uses it to time
+kernel executions (producing the profiles the paper reads from the
+manufacturer's profiler), and running it with the target architecture's
+parameters provides the ground-truth "observed execution on an actual
+target device" against which the estimators of
+:mod:`repro.core.estimation` are judged (paper Fig. 12).
+
+Model structure
+---------------
+A launch of ``grid`` blocks distributes blocks round-robin over the SMs;
+the most-loaded SM carries ``ceil(grid / sm_count)`` blocks and determines
+the elapsed issue time.  This directly yields the grid-alignment staircase
+of the paper's Fig. 10(b) and Eq. (9): every grid size in
+``(k-1)*sm_count+1 .. k*sm_count`` costs the same.
+
+Elapsed cycles are **issue + data stalls + other stalls**:
+
+* **issue cycles** — per-warp instruction issue through each SM's
+  schedulers at per-type reciprocal throughput (Eq. 3's tau), quantized
+  to full device waves;
+* **data stalls** — the probabilistic cache model's
+  Upsilon[data]{K,T}: the larger of exposed miss-latency stalls and the
+  DRAM-bandwidth time the issue stream cannot hide;
+* **other stalls** — a small fixed pipeline/launch overhead plus a
+  fraction of issue (fetch/sync hiccups).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..kernels.compiler import CompiledKernel
+from ..kernels.ir import ALL_TYPES, InstructionType, MEMORY_TYPES
+from ..kernels.launch import LaunchConfig
+from . import cache as cache_model
+from .arch import GPUArchitecture
+
+#: Fraction of ideal issue cycles lost to miscellaneous (non-data) stalls:
+#: instruction fetch, synchronization, pipeline drain.
+OTHER_STALL_FRACTION = 0.04
+
+#: Fixed per-launch pipeline ramp cycles (in addition to the driver-level
+#: launch overhead accounted in milliseconds by the device model).
+PIPELINE_RAMP_CYCLES = 1500.0
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Everything the profiler learns from one kernel execution.
+
+    This is the reproduction's analog of the vendor profiler output the
+    paper lists in Section 2: "the number of executed instructions (per
+    instruction type), the elapsed clock cycles, and the percentages of
+    each occurred stall".
+    """
+
+    kernel_name: str
+    arch_name: str
+    launch: LaunchConfig
+    sigma: Dict[InstructionType, float]
+    issue_cycles: float
+    memory_cycles: float
+    data_stall_cycles: float
+    other_stall_cycles: float
+    elapsed_cycles: float
+    time_ms: float
+    cache_hits: float
+    cache_misses: float
+    cache_hit_probability: float
+    waves: int
+    occupancy: float
+
+    @property
+    def sigma_total(self) -> float:
+        return sum(self.sigma.values())
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return (self.data_stall_cycles + self.other_stall_cycles) / self.elapsed_cycles
+
+    def stall_breakdown(self) -> Dict[str, float]:
+        """Percentages of elapsed cycles per stall reason."""
+        total = self.elapsed_cycles or 1.0
+        return {
+            "data_dependency": 100.0 * self.data_stall_cycles / total,
+            "other": 100.0 * self.other_stall_cycles / total,
+        }
+
+
+class KernelTimingModel:
+    """Times compiled-kernel launches on a given architecture."""
+
+    def __init__(self, arch: GPUArchitecture):
+        self.arch = arch
+
+    def __repr__(self) -> str:
+        return f"KernelTimingModel({self.arch.name!r})"
+
+    # -- component models ------------------------------------------------
+
+    def issue_cycles(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
+        """Elapsed issue cycles, quantized to full device waves (Eq. 9).
+
+        The device executes the grid in waves of ``concurrent_blocks``
+        resident blocks; a partially-filled wave costs a full wave — the
+        paper's data-alignment observation ("the same execution time is
+        obtained both for a grid of size 9 and a grid of size 16"), and
+        the resource waste Kernel Coalescing reclaims by merging small
+        grids into aligned ones.
+        """
+        arch = self.arch
+        per_thread = compiled.per_thread_mix(launch.context())
+        warps_per_block = max(1, math.ceil(launch.block_size / arch.warp_size))
+        wave_quantum = arch.concurrent_blocks(launch.block_size)
+        blocks_per_sm_per_wave = max(1, wave_quantum // arch.sm_count)
+        waves = math.ceil(launch.grid_size / wave_quantum)
+        warp_cycles = sum(
+            per_thread[t] * arch.warp_issue_cycles[t] for t in ALL_TYPES
+        )
+        return (
+            waves
+            * blocks_per_sm_per_wave
+            * warps_per_block
+            * warp_cycles
+            / arch.schedulers_per_sm
+        )
+
+    def memory_cycles(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
+        """Cycles to move the launch's DRAM traffic at peak bandwidth."""
+        accesses = self._memory_accesses(compiled, launch)
+        return cache_model.memory_throughput_cycles(
+            self.arch, compiled.ir.footprint, accesses
+        )
+
+    def data_stall_cycles(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
+        """Upsilon[data]{K,H}: data-dependency stalls (latency + bandwidth)."""
+        accesses = self._memory_accesses(compiled, launch)
+        return cache_model.data_stall_cycles(
+            self.arch,
+            compiled.ir.footprint,
+            accesses,
+            launch.block_size,
+            launch.grid_size,
+            self.issue_cycles(compiled, launch),
+        )
+
+    # -- the full execution ----------------------------------------------
+
+    def execute(self, compiled: CompiledKernel, launch: LaunchConfig) -> ExecutionProfile:
+        """Model one launch and return its execution profile."""
+        if compiled.arch is not self.arch and compiled.arch.name != self.arch.name:
+            raise ValueError(
+                f"kernel compiled for {compiled.arch.name!r} cannot execute "
+                f"on {self.arch.name!r}"
+            )
+        arch = self.arch
+        sigma = compiled.sigma(launch)
+        issue = self.issue_cycles(compiled, launch)
+        memory = self.memory_cycles(compiled, launch)
+        data_stalls = self.data_stall_cycles(compiled, launch)
+        other_stalls = OTHER_STALL_FRACTION * issue + PIPELINE_RAMP_CYCLES
+        # Bandwidth saturation already surfaces inside the data-stall
+        # model, so elapsed time is issue plus stalls.
+        elapsed = issue + data_stalls + other_stalls
+
+        behavior = self._cache_behavior(compiled, launch)
+        concurrent = arch.concurrent_blocks(launch.block_size)
+        waves = max(1, math.ceil(launch.grid_size / concurrent))
+        resident_blocks = min(launch.grid_size, concurrent)
+        occupancy = min(
+            1.0,
+            resident_blocks * launch.block_size / arch.concurrent_threads,
+        )
+
+        return ExecutionProfile(
+            kernel_name=compiled.name,
+            arch_name=arch.name,
+            launch=launch,
+            sigma=sigma,
+            issue_cycles=issue,
+            memory_cycles=memory,
+            data_stall_cycles=data_stalls,
+            other_stall_cycles=other_stalls,
+            elapsed_cycles=elapsed,
+            time_ms=arch.cycles_to_ms(elapsed),
+            cache_hits=behavior.hits,
+            cache_misses=behavior.misses,
+            cache_hit_probability=behavior.hit_probability,
+            waves=waves,
+            occupancy=occupancy,
+        )
+
+    def kernel_time_ms(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
+        """Launch-to-completion time including driver launch overhead."""
+        profile = self.execute(compiled, launch)
+        return self.arch.kernel_launch_overhead_ms + profile.time_ms
+
+    # -- helpers -----------------------------------------------------------
+
+    def _memory_accesses(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
+        per_thread = compiled.per_thread_mix(launch.context())
+        return sum(per_thread[t] for t in MEMORY_TYPES) * launch.threads
+
+    def _cache_behavior(self, compiled: CompiledKernel, launch: LaunchConfig):
+        accesses = self._memory_accesses(compiled, launch)
+        return cache_model.predict_behavior(
+            compiled.ir.footprint, self.arch.cache, accesses
+        )

@@ -1,0 +1,53 @@
+"""Kernel IR, per-architecture compilation, launch geometry, functional execution."""
+
+from .compiler import (
+    CompiledBlock,
+    CompiledKernel,
+    DEFAULT_COMPILER,
+    KernelCompiler,
+    compile_kernel,
+)
+from .functional import (
+    REGISTRY,
+    FunctionalRegistry,
+    functional_kernel,
+)
+from .ir import (
+    ALL_TYPES,
+    InstructionMix,
+    InstructionType,
+    KernelIR,
+    LaunchContext,
+    MEMORY_TYPES,
+    MemoryFootprint,
+    ProgramBlock,
+    align_up,
+    ceil_div,
+    uniform_kernel,
+)
+from .launch import LaunchConfig, launch_for_elements, natural_launch
+
+__all__ = [
+    "ALL_TYPES",
+    "CompiledBlock",
+    "CompiledKernel",
+    "DEFAULT_COMPILER",
+    "FunctionalRegistry",
+    "InstructionMix",
+    "InstructionType",
+    "KernelCompiler",
+    "KernelIR",
+    "LaunchConfig",
+    "LaunchContext",
+    "MEMORY_TYPES",
+    "MemoryFootprint",
+    "ProgramBlock",
+    "REGISTRY",
+    "align_up",
+    "ceil_div",
+    "compile_kernel",
+    "functional_kernel",
+    "launch_for_elements",
+    "natural_launch",
+    "uniform_kernel",
+]

@@ -1,0 +1,159 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns simulated time and the pending-event heap.  All
+timed components of the SigmaVP reproduction — host GPU engines, IPC
+channels, virtual platforms — are coroutine processes running inside one
+environment, so a single ``env.run()`` advances the entire simulated host
+machine deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Signals :meth:`Environment.run` to return early."""
+
+
+class Environment:
+    """Execution environment for a deterministic event-driven simulation.
+
+    Time is a float in **milliseconds** throughout this project: the paper
+    reports kernel and copy times in milliseconds, so using them natively
+    keeps every number legible against the paper's figures.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling and the event loop ----------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to fire ``delay`` ms from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _priority, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        if when < self._now:
+            raise RuntimeError(
+                f"event scheduled in the past: {when} < {self._now}"
+            )
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not getattr(event, "_defused", False):
+            # An unhandled failure: surface it rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an event, a time, or exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run until simulated time reaches it.
+        * ``until`` is an :class:`Event` — run until it fires and return
+          its value.
+        """
+        stop_at = float("inf")
+        stop_event: Optional[Event] = None
+
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.processed:
+                    return stop_event.value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                stop_at = float(until)
+                if stop_at <= self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must be greater than now ({self._now})"
+                    )
+
+        try:
+            while self._queue and self.peek() < stop_at:
+                self.step()
+        except StopSimulation:
+            assert stop_event is not None
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event.value
+
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before the awaited event fired"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        if stop_event is not None:
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event.value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        event._defused = True
+        raise StopSimulation()

@@ -1,0 +1,299 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The simulation kernel follows the classic coroutine-process style:
+processes are Python generators that yield :class:`Event` objects and are
+resumed when those events fire.  The design intentionally mirrors a small
+subset of simpy's semantics so the behaviour is familiar, but the
+implementation here is self-contained (no third-party dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+#: Sentinel for an event that has not been triggered yet.
+PENDING = object()
+
+#: Event processing priorities: URGENT events (process resumptions) run
+#: before NORMAL events scheduled for the same simulated instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` carries whatever object the interrupter passed, which the
+    interrupted process can inspect to decide how to proceed.  SigmaVP's
+    VP-control module uses interrupts to implement stop/resume of virtual
+    platforms for synchronous kernel interleaving.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a
+    value (or an exception), and *processed* once its callbacks have run.
+    """
+
+    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "triggered"
+        if self.processed:
+            state = "processed"
+        return f"<{self.__class__.__name__} {state} at {hex(id(self))}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event fired)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A coroutine process driven by the events it yields.
+
+    The process itself is an event that fires when the generator finishes;
+    its value is the generator's return value.  This lets processes wait on
+    other processes directly (``yield env.process(...)``).
+    """
+
+    def __init__(self, env: "Environment", generator):  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+        # Detach from the old target so the original event no longer resumes
+        # this process when it eventually fires.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    next_event = self._generator.send(event._value)
+                except StopIteration as exc:
+                    self._ok = True
+                    self._value = getattr(exc, "value", None)
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event._defused = True
+                exc = event._value
+                try:
+                    next_event = self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = getattr(stop, "value", None)
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+                except BaseException as raised:
+                    self._ok = False
+                    self._value = raised
+                    self.env.schedule(self, priority=NORMAL)
+                    break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(
+                    TypeError(f"process yielded a non-event: {next_event!r}")
+                )
+                continue
+            if next_event.env is not self.env:
+                self._generator.throw(
+                    ValueError("process yielded an event from another environment")
+                )
+                continue
+
+            if next_event.callbacks is not None:
+                # Event has not fired yet: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: deliver its value immediately.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Waits on several events; fires per the ``evaluate`` predicate."""
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only *processed* events count: a Timeout carries its value from
+        # construction but has not fired until its callbacks have run.
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when every given event has fired."""
+
+    def __init__(self, env, events):  # noqa: F821
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when any one of the given events has fired."""
+
+    def __init__(self, env, events):  # noqa: F821
+        super().__init__(env, Condition.any_events, events)

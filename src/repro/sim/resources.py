@@ -1,0 +1,215 @@
+"""Shared-resource primitives: FIFO resources and item stores.
+
+The host GPU's copy and compute engines are modelled as capacity-1
+:class:`Resource` objects, which gives non-preemptive FIFO service — the
+exact behaviour the Kernel Interleaving optimization exploits by choosing
+*which* job enters each engine next.  :class:`Store` provides blocking
+producer/consumer queues for IPC channels and the host job queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .engine import Environment
+from .events import Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; usable as a context manager."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return the resource and grant the next queued request."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise RuntimeError("releasing a request that does not hold the resource")
+        self._grant_pending()
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        if request in self.queue:
+            self.queue.remove(request)
+        elif request in self.users:
+            self.release(request)
+
+    def _grant_pending(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.predicate = predicate
+        store._do_get(self)
+
+
+class Store:
+    """A FIFO store of items with blocking put/get.
+
+    ``get`` optionally takes a predicate (a *filter store* in simpy terms),
+    which the IPC manager uses to let each consumer wait for messages
+    addressed to it.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._putters: List[StorePut] = []
+        self._getters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        return StoreGet(self, predicate)
+
+    def _do_put(self, event: StorePut) -> None:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        self._getters.append(event)
+        self._serve_getters()
+        self._serve_putters()
+
+    def _serve_getters(self) -> None:
+        remaining: List[StoreGet] = []
+        for getter in self._getters:
+            matched = None
+            if getter.predicate is None:
+                if self.items:
+                    matched = self.items.pop(0)
+            else:
+                for index, item in enumerate(self.items):
+                    if getter.predicate(item):
+                        matched = self.items.pop(index)
+                        break
+            if matched is not None:
+                getter.succeed(matched)
+            else:
+                remaining.append(getter)
+        self._getters = remaining
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self._capacity:
+            putter = self._putters.pop(0)
+            self.items.append(putter.item)
+            putter.succeed()
+            self._serve_getters()
+
+
+class PriorityItem:
+    """Wraps an item with an ordering key for :class:`PriorityStore`."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that yields the lowest-priority item first."""
+
+    def _do_put(self, event: StorePut) -> None:
+        if len(self.items) < self._capacity:
+            heapq.heappush(self.items, event.item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _serve_getters(self) -> None:
+        remaining: List[StoreGet] = []
+        for getter in self._getters:
+            if getter.predicate is not None:
+                raise NotImplementedError("PriorityStore does not support predicates")
+            if self.items:
+                getter.succeed(heapq.heappop(self.items))
+            else:
+                remaining.append(getter)
+        self._getters = remaining
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self._capacity:
+            putter = self._putters.pop(0)
+            heapq.heappush(self.items, putter.item)
+            putter.succeed()
+            self._serve_getters()

@@ -1,0 +1,112 @@
+"""Software GPU emulation — the slow baseline SigmaVP replaces.
+
+"In order to run the GPU code, many simulators ... need to include GPU
+emulation capabilities (e.g. the Mesa software backend).  The presence of
+an additional software layer on top of the VP significantly deteriorates
+the overall execution speed" (paper Section 1).
+
+The emulator interprets every GPU thread-instruction serially on a CPU
+model.  Interpretation cost is *instruction-type dependent*: floating-
+point GPU instructions are far more expensive to emulate (QEMU-style
+softfloat paths, NaN/rounding bookkeeping) than integer or control
+instructions.  This is why the paper observes that "applications that
+use less floating-point instructions ... have relatively lower speedups"
+(Section 5) — their emulation baseline is comparatively faster.
+
+Run on the host CPU this reproduces Table 1's ~53x slowdown for the
+FP64-heavy matrixMul; run inside the binary-translated VP it reproduces
+the ~2193x slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from ..gpu.arch import GPUArchitecture, QUADRO_4000
+from ..kernels.compiler import KernelCompiler
+from ..kernels.ir import ALL_TYPES, InstructionType, KernelIR
+from ..kernels.launch import LaunchConfig
+from .cpu import CPUModel
+
+#: CPU operations to interpret one GPU thread-instruction, per type.
+#: Calibrated so the FP64-heavy matrixMul of Table 1 lands at the paper's
+#: 53.5x CPU-emulation slowdown; FP costs dominate because software
+#: emulators take the softfloat path for them.
+EMULATION_OPS: Mapping[InstructionType, float] = MappingProxyType(
+    {
+        InstructionType.FP32: 6.3,
+        InstructionType.FP64: 6.3,
+        InstructionType.INT: 2.0,
+        InstructionType.BIT: 2.0,
+        InstructionType.BRANCH: 2.0,
+        InstructionType.LOAD: 3.0,
+        InstructionType.STORE: 3.0,
+    }
+)
+
+#: Fixed interpreter cost per emulated kernel launch (state setup,
+#: grid/block bookkeeping), in CPU operations.
+EMULATED_LAUNCH_OPS = 2.0e5
+
+
+@dataclass(frozen=True)
+class EmulationCost:
+    """Breakdown of an emulated kernel launch's cost."""
+
+    instructions: float
+    interpret_ms: float
+    launch_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.interpret_ms + self.launch_ms
+
+
+class GPUEmulator:
+    """Interprets GPU kernels on a CPU model, one thread at a time.
+
+    ``isa_arch`` selects the instruction set the emulator interprets; the
+    host-GPU ISA (Quadro 4000 by default) is what a CUDA emulator built
+    against the host toolchain would see.
+    """
+
+    def __init__(
+        self,
+        cpu: CPUModel,
+        isa_arch: GPUArchitecture = QUADRO_4000,
+        compiler: Optional[KernelCompiler] = None,
+    ):
+        self.cpu = cpu
+        self.isa_arch = isa_arch
+        self.compiler = compiler or KernelCompiler()
+
+    def __repr__(self) -> str:
+        return f"GPUEmulator(cpu={self.cpu.name!r}, isa={self.isa_arch.name!r})"
+
+    def interpretation_ops(self, kernel: KernelIR, launch: LaunchConfig) -> float:
+        """CPU operations to interpret one launch's dynamic instructions."""
+        compiled = self.compiler.compile(kernel, self.isa_arch)
+        sigma = compiled.sigma(launch)
+        return sum(sigma[itype] * EMULATION_OPS[itype] for itype in ALL_TYPES)
+
+    def kernel_cost(self, kernel: KernelIR, launch: LaunchConfig) -> EmulationCost:
+        """Cost of emulating one kernel launch on this CPU."""
+        compiled = self.compiler.compile(kernel, self.isa_arch)
+        instructions = compiled.sigma_total(launch)
+        ops = self.interpretation_ops(kernel, launch) * self.cpu.emulation_penalty
+        interpret_ms = self.cpu.time_for_ops(ops)
+        launch_ms = self.cpu.time_for_ops(EMULATED_LAUNCH_OPS)
+        return EmulationCost(
+            instructions=instructions,
+            interpret_ms=interpret_ms,
+            launch_ms=launch_ms,
+        )
+
+    def kernel_time_ms(self, kernel: KernelIR, launch: LaunchConfig) -> float:
+        return self.kernel_cost(kernel, launch).total_ms
+
+    def copy_time_ms(self, num_bytes: int) -> float:
+        """An emulated cudaMemcpy is a plain memory copy on this CPU."""
+        return self.cpu.copy_time_ms(num_bytes)

@@ -1,0 +1,6 @@
+"""The benchmark workload suite (populated by the catalog module)."""
+
+from .base import WorkloadSpec, build_app
+from .catalog import SUITE, get_workload
+
+__all__ = ["SUITE", "WorkloadSpec", "build_app", "get_workload"]

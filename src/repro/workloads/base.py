@@ -1,0 +1,212 @@
+"""Workload specifications: the benchmark applications SigmaVP simulates.
+
+The paper evaluates "the suite of benchmark GPU applications available as
+part of the CUDA SDK" (Section 5, Fig. 11).  Each application is modelled
+as a :class:`WorkloadSpec`: a kernel IR with a measured-style instruction
+mix, a data geometry, an iteration pattern, the scalar-op count of its C
+implementation (the Table 1 comparison), and the amount of non-CUDA work
+(file I/O, OpenGL) that SigmaVP cannot accelerate — the attribute that
+caps the speedups of Mandelbrot, simpleGL, and friends in Fig. 11.
+
+A spec compiles into an *application*: a generator driving the
+:class:`~repro.vp.cuda_runtime.CudaRuntime` API with the canonical CUDA
+loop — copy inputs in, launch, copy results out, synchronize.  The same
+application runs unchanged on every backend, which is exactly the
+paper's binary-compatibility story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..kernels.ir import KernelIR
+from ..kernels.launch import LaunchConfig, launch_for_elements
+from ..vp.cuda_runtime import CudaRuntime
+
+#: Input factory: (rng, array_index, spec) -> numpy array.
+InputFactory = Callable[[np.random.Generator, int, "WorkloadSpec"], np.ndarray]
+
+
+def _default_input(rng: np.random.Generator, index: int, spec: "WorkloadSpec") -> np.ndarray:
+    dtype = np.float64 if spec.element_bytes == 8 else np.float32
+    return rng.standard_normal(spec.elements).astype(dtype)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark application, fully parameterized."""
+
+    name: str
+    kernel: KernelIR
+    elements: int
+    input_arrays: int = 2
+    output_elements: Optional[int] = None
+    element_bytes: int = 4
+    block_size: int = 256
+    iterations: int = 1
+    streaming: bool = True
+    #: Inputs copied once, but results copied back every iteration — the
+    #: shape of the OpenGL apps, whose frames must return to the *guest*
+    #: (where the paper's non-accelerated OpenGL rendering runs).
+    readback_only: bool = False
+    #: The kernel updates its first input in place (out = inputs[0]), so
+    #: iterations chain: step k+1 sees step k's state.  Physics engines
+    #: and other stateful simulations use this.
+    feedback: bool = False
+    sync_every: int = 1
+    noncuda_ops: float = 0.0
+    c_ops: float = 0.0
+    problem_size: float = 0.0
+    params: Dict[str, Any] = field(default_factory=dict)
+    input_factory: InputFactory = _default_input
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ValueError(f"{self.name}: elements must be positive")
+        if self.iterations <= 0:
+            raise ValueError(f"{self.name}: iterations must be positive")
+        if self.input_arrays < 0:
+            raise ValueError(f"{self.name}: input_arrays must be non-negative")
+        if self.sync_every <= 0:
+            raise ValueError(f"{self.name}: sync_every must be positive")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def out_elements(self) -> int:
+        return self.output_elements if self.output_elements is not None else self.elements
+
+    @property
+    def input_nbytes(self) -> int:
+        return self.elements * self.element_bytes
+
+    @property
+    def output_nbytes(self) -> int:
+        return self.out_elements * self.element_bytes
+
+    def launch_config(self) -> LaunchConfig:
+        return launch_for_elements(
+            self.elements,
+            block_size=self.block_size,
+            elements_per_thread=self.kernel.elements_per_thread,
+            problem_size=self.problem_size,
+        )
+
+    def scaled_to(self, elements: int, iterations: Optional[int] = None) -> "WorkloadSpec":
+        """The same app over a different data size (parameter sweeps)."""
+        factor = elements / self.elements
+        return WorkloadSpec(
+            name=self.name,
+            kernel=self.kernel.with_footprint(self.kernel.footprint.scaled(factor)),
+            elements=elements,
+            input_arrays=self.input_arrays,
+            output_elements=(
+                None if self.output_elements is None
+                else max(1, int(round(self.output_elements * factor)))
+            ),
+            element_bytes=self.element_bytes,
+            block_size=self.block_size,
+            iterations=iterations if iterations is not None else self.iterations,
+            streaming=self.streaming,
+            readback_only=self.readback_only,
+            feedback=self.feedback,
+            sync_every=self.sync_every,
+            noncuda_ops=self.noncuda_ops,
+            c_ops=self.c_ops * factor,
+            problem_size=self.problem_size,
+            params=dict(self.params),
+            input_factory=self.input_factory,
+            description=self.description,
+        )
+
+    def build_inputs(self, seed: int = 0) -> List[np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return [self.input_factory(rng, i, self) for i in range(self.input_arrays)]
+
+    # -- characterization (drives the Fig. 11 narrative) -----------------------
+
+    @property
+    def fp_fraction(self) -> float:
+        """Fraction of kernel instructions that are floating point."""
+        ctx = self.launch_config().context()
+        mix = self.kernel.per_thread_mix(ctx)
+        total = mix.total
+        return mix.flops / total if total else 0.0
+
+    @property
+    def uses_noncuda(self) -> bool:
+        return self.noncuda_ops > 0
+
+    @property
+    def coalescible(self) -> bool:
+        return self.kernel.coalescible
+
+
+def build_app(spec: WorkloadSpec, api: CudaRuntime, seed: int = 0):
+    """Compile a spec into an application generator for ``api``.
+
+    The returned zero-argument callable yields the canonical CUDA loop:
+    allocate, (copy in, launch, copy out) x iterations, synchronize, with
+    the spec's non-CUDA work split around the GPU phase.
+    """
+
+    def app():
+        inputs = spec.build_inputs(seed)
+        in_handles: List[str] = []
+        for array in inputs:
+            handle = yield from api.malloc(int(array.nbytes))
+            in_handles.append(handle)
+        if spec.feedback:
+            out_handle = in_handles[0]
+        else:
+            out_handle = yield from api.malloc(spec.output_nbytes)
+
+        if spec.noncuda_ops:
+            # Input-side non-CUDA work: file reads, scene setup.
+            yield from api.cpu_work(spec.noncuda_ops / 2.0)
+
+        launch = spec.launch_config()
+        copies_in_loop = spec.streaming and not spec.readback_only
+        if not copies_in_loop:
+            for handle, array in zip(in_handles, inputs):
+                yield from api.memcpy_h2d(handle, array, sync=False)
+
+        result = None
+        for iteration in range(spec.iterations):
+            if copies_in_loop:
+                for handle, array in zip(in_handles, inputs):
+                    yield from api.memcpy_h2d(handle, array, sync=False)
+            yield from api.launch_kernel(
+                spec.kernel,
+                launch,
+                args=in_handles,
+                out=out_handle,
+                params=spec.params,
+                sync=False,
+            )
+            if spec.streaming or spec.readback_only:
+                result = yield from api.memcpy_d2h(
+                    out_handle, nbytes=spec.output_nbytes, sync=False
+                )
+            if (iteration + 1) % spec.sync_every == 0:
+                yield from api.synchronize()
+
+        if result is None:
+            result = yield from api.memcpy_d2h(
+                out_handle, nbytes=spec.output_nbytes, sync=False
+            )
+        yield from api.synchronize()
+
+        if spec.noncuda_ops:
+            # Output-side non-CUDA work: file writes, OpenGL rendering.
+            yield from api.cpu_work(spec.noncuda_ops / 2.0)
+
+        if result is not None and result.ready:
+            return result.value
+        return None
+
+    return app

@@ -1,0 +1,72 @@
+"""The aggregated benchmark suite (paper Fig. 11's application set).
+
+Importing this module registers every workload's functional kernel and
+exposes :data:`SUITE`, ordered as the paper's Fig. 11 x-axis groups the
+applications.
+"""
+
+from typing import Dict
+
+from .analytics import MERGE_SORT, SEGMENTATION_TREE, STEREO_DISPARITY
+from .base import WorkloadSpec
+from .finance import BLACK_SCHOLES, MONTE_CARLO
+from .graphics import (
+    MANDELBROT,
+    MARCHING_CUBES,
+    NBODY,
+    SIMPLE_GL,
+    SMOKE_PARTICLES,
+)
+from .imaging import (
+    BICUBIC_TEXTURE,
+    CONVOLUTION_SEPARABLE,
+    DCT8X8,
+    HISTOGRAM,
+    RECURSIVE_GAUSSIAN,
+    SOBEL_FILTER,
+    VOLUME_FILTERING,
+)
+from .linalg import MATRIX_MUL, REDUCTION, SCALAR_PROD, TRANSPOSE, VECTOR_ADD
+from .physics import PHYSX_PARTICLES
+
+#: All catalogued workloads by name.
+SUITE: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        SIMPLE_GL,
+        MANDELBROT,
+        MARCHING_CUBES,
+        BICUBIC_TEXTURE,
+        VOLUME_FILTERING,
+        RECURSIVE_GAUSSIAN,
+        SOBEL_FILTER,
+        STEREO_DISPARITY,
+        CONVOLUTION_SEPARABLE,
+        DCT8X8,
+        BLACK_SCHOLES,
+        MONTE_CARLO,
+        MATRIX_MUL,
+        MERGE_SORT,
+        NBODY,
+        SMOKE_PARTICLES,
+        SEGMENTATION_TREE,
+        VECTOR_ADD,
+        SCALAR_PROD,
+        TRANSPOSE,
+        REDUCTION,
+        HISTOGRAM,
+        PHYSX_PARTICLES,
+    )
+}
+
+#: The four applications of the paper's Fig. 12 / Fig. 13 estimation study.
+ESTIMATION_APPS = ("BlackScholes", "matrixMul", "dct8x8", "Mandelbrot")
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a catalogued workload by its exact (paper) name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITE)) or "<none>"
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,135 @@
+"""Synthetic microbenchmark workloads for the Fig. 9 / Fig. 10 sweeps.
+
+Fig. 9 uses "two interleaved GPU programs, each with a loop that
+iterates: a memory copy from host to device, a kernel execution, and a
+memory copy from device to host", with the memory copy fixed at 13.44 ms
+and the kernel's complexity swept.  :func:`make_phase_workload` builds
+that program with the kernel *calibrated* to a requested duration on a
+given architecture (the modelled analog of picking a kernel length).
+"""
+
+from __future__ import annotations
+
+from ..gpu.arch import GPUArchitecture, QUADRO_4000
+from ..gpu.timing import KernelTimingModel
+from ..kernels.compiler import KernelCompiler
+from ..kernels.ir import KernelIR, MemoryFootprint, uniform_kernel
+from ..kernels.launch import LaunchConfig
+from .base import WorkloadSpec
+
+#: The paper's fixed memory-copy time in Fig. 9(a).
+FIG9_COPY_MS = 13.44
+
+#: Launch geometry for the calibrated kernels: an SM-aligned grid so the
+#: duration responds linearly to the instruction count.
+_CAL_GRID = 96
+_CAL_BLOCK = 256
+
+
+def copy_bytes_for_ms(target_ms: float, arch: GPUArchitecture = QUADRO_4000) -> int:
+    """Bytes whose copy-engine transfer takes ``target_ms``."""
+    if target_ms <= arch.copy_latency_ms:
+        raise ValueError(
+            f"target {target_ms} ms is below the copy latency "
+            f"({arch.copy_latency_ms} ms)"
+        )
+    gb = (target_ms - arch.copy_latency_ms) / 1e3 * arch.copy_bandwidth_gbps
+    return int(round(gb * 1e9))
+
+
+def _phase_kernel(
+    fp32_per_thread: float, nbytes: int, signature: str, elements_per_thread: float = 1.0
+) -> KernelIR:
+    return uniform_kernel(
+        signature,
+        {"fp32": max(0.0, fp32_per_thread), "int": 4, "load": 1, "store": 1},
+        MemoryFootprint(
+            bytes_in=nbytes,
+            bytes_out=nbytes,
+            working_set_bytes=64 * 1024,  # small: stall-free, linear timing
+            locality=0.95,
+            coalesced_fraction=1.0,
+        ),
+        signature=signature,
+        elements_per_thread=elements_per_thread,
+    )
+
+
+def calibrate_fp32_count(
+    target_kernel_ms: float,
+    nbytes: int,
+    arch: GPUArchitecture = QUADRO_4000,
+    signature: str = "phase",
+) -> float:
+    """FP32 instructions per thread so the kernel models ``target_kernel_ms``.
+
+    The timing model is affine in the per-thread instruction count for a
+    fixed launch, so two probe evaluations determine the answer exactly.
+    """
+    if target_kernel_ms < 0:
+        raise ValueError(f"negative target {target_kernel_ms}")
+    launch = LaunchConfig(
+        grid_size=_CAL_GRID, block_size=_CAL_BLOCK, elements=_CAL_GRID * _CAL_BLOCK
+    )
+    model = KernelTimingModel(arch)
+    compiler = KernelCompiler()
+
+    def time_for(x: float) -> float:
+        kernel = _phase_kernel(x, nbytes, signature)
+        return model.kernel_time_ms(compiler.compile(kernel, arch), launch)
+
+    t0 = time_for(0.0)
+    t1 = time_for(1000.0)
+    slope = (t1 - t0) / 1000.0
+    if target_kernel_ms <= t0:
+        return 0.0
+    return (target_kernel_ms - t0) / slope
+
+
+def make_phase_workload(
+    t_kernel_ms: float,
+    t_copy_ms: float = FIG9_COPY_MS,
+    iterations: int = 1,
+    arch: GPUArchitecture = QUADRO_4000,
+    name: str = "phase-loop",
+) -> WorkloadSpec:
+    """The Fig. 9 program: loop of (H2D ~t_copy, kernel ~t_kernel, D2H ~t_copy)."""
+    nbytes = copy_bytes_for_ms(t_copy_ms, arch)
+    fp32 = calibrate_fp32_count(t_kernel_ms, nbytes, arch, signature=name)
+    # Size the data so the natural launch reproduces the calibration
+    # geometry exactly (grid = _CAL_GRID, block = _CAL_BLOCK).
+    threads = _CAL_GRID * _CAL_BLOCK
+    elements_per_thread = max(1, (nbytes // 4) // threads)
+    elements = threads * elements_per_thread
+    nbytes = elements * 4
+    kernel = _phase_kernel(fp32, nbytes, name, elements_per_thread=elements_per_thread)
+    return WorkloadSpec(
+        name=name,
+        kernel=kernel,
+        elements=elements,
+        input_arrays=1,
+        output_elements=elements,
+        element_bytes=4,
+        block_size=_CAL_BLOCK,
+        iterations=iterations,
+        streaming=True,      # copy in, kernel, copy out -- every iteration
+        sync_every=iterations,
+        c_ops=1.0,
+        description=(
+            f"synthetic phase loop: ~{t_copy_ms:.2f} ms copies, "
+            f"~{t_kernel_ms:.2f} ms kernel"
+        ),
+    )
+
+
+def measured_phase_times(
+    spec: WorkloadSpec, arch: GPUArchitecture = QUADRO_4000
+) -> tuple:
+    """(copy_ms, kernel_ms) as the device model will actually time them."""
+    copy_ms = arch.copy_time_ms(spec.input_nbytes)
+    model = KernelTimingModel(arch)
+    compiler = KernelCompiler()
+    kernel_ms = model.kernel_time_ms(
+        compiler.compile(spec.kernel, arch), spec.launch_config()
+    )
+    return copy_ms, kernel_ms

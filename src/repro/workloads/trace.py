@@ -1,0 +1,231 @@
+"""CUDA API trace replay.
+
+The interception layer's promise is binary compatibility: "the
+application binaries that use GPU instructions do not need any change"
+(paper Section 2).  The practical port of that promise to this
+reproduction is *trace replay*: record the CUDA runtime calls of a real
+application (any interposer can), describe them in a small JSON format,
+and replay them through any backend — emulation, native, or the SigmaVP
+pipeline.
+
+Trace format (a JSON object)::
+
+    {
+      "name": "my-app",
+      "calls": [
+        {"op": "malloc",  "buf": "A", "nbytes": 4096},
+        {"op": "h2d",     "buf": "A", "nbytes": 4096},
+        {"op": "launch",  "kernel": {"name": "k", "signature": "vectorAdd",
+                                      "mix": {"fp32": 1, "load": 2, "store": 1},
+                                      "working_set": 8192, "locality": 0.5},
+                           "grid": 4, "block": 256, "elements": 1024,
+                           "args": ["A"], "out": "A"},
+        {"op": "d2h",     "buf": "A", "nbytes": 4096},
+        {"op": "sync"},
+        {"op": "cpu",     "ops": 1e6},
+        {"op": "free",    "buf": "A"}
+      ]
+    }
+
+Launches may name a previously defined kernel by string instead of
+redefining it.  ``h2d`` without data copies zeros (timing-only replay);
+functional replay supplies arrays via ``inputs``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from ..kernels.ir import KernelIR, MemoryFootprint, uniform_kernel
+from ..kernels.launch import LaunchConfig
+from ..vp.cuda_runtime import CudaRuntime
+
+VALID_OPS = ("malloc", "free", "h2d", "d2h", "launch", "sync", "cpu")
+
+
+class TraceError(ValueError):
+    """A malformed trace."""
+
+
+@dataclass
+class ApiTrace:
+    """A parsed, validated API trace."""
+
+    name: str
+    calls: List[Dict[str, Any]]
+    kernels: Dict[str, KernelIR] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def kernel_launches(self) -> int:
+        return sum(1 for call in self.calls if call["op"] == "launch")
+
+
+def _kernel_from_spec(spec: Mapping[str, Any], index: int) -> KernelIR:
+    try:
+        mix = dict(spec["mix"])
+    except KeyError:
+        raise TraceError(f"launch #{index}: kernel definition needs a 'mix'")
+    name = spec.get("name", f"trace-kernel-{index}")
+    working_set = int(spec.get("working_set", 64 * 1024))
+    bytes_in = int(spec.get("bytes_in", working_set))
+    bytes_out = int(spec.get("bytes_out", working_set))
+    footprint = MemoryFootprint(
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        working_set_bytes=working_set,
+        locality=float(spec.get("locality", 0.7)),
+        coalesced_fraction=float(spec.get("coalesced", 0.9)),
+    )
+    return uniform_kernel(
+        name,
+        mix,
+        footprint,
+        trips=float(spec.get("trips", 1.0)),
+        signature=spec.get("signature", name),
+        coalescible=bool(spec.get("coalescible", True)),
+        elements_per_thread=float(spec.get("elements_per_thread", 1.0)),
+    )
+
+
+def parse_trace(source: Union[str, Mapping[str, Any]]) -> ApiTrace:
+    """Parse and validate a trace from JSON text or a dict."""
+    if isinstance(source, str):
+        try:
+            data = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid JSON: {exc}") from exc
+    else:
+        data = dict(source)
+
+    calls = data.get("calls")
+    if not isinstance(calls, list) or not calls:
+        raise TraceError("trace needs a non-empty 'calls' list")
+
+    trace = ApiTrace(name=str(data.get("name", "trace")), calls=[])
+    live_buffers: set = set()
+    for index, raw in enumerate(calls):
+        if not isinstance(raw, dict) or "op" not in raw:
+            raise TraceError(f"call #{index}: every call needs an 'op'")
+        call = dict(raw)
+        op = call["op"]
+        if op not in VALID_OPS:
+            raise TraceError(f"call #{index}: unknown op {op!r}; valid: {VALID_OPS}")
+        if op == "malloc":
+            if int(call.get("nbytes", 0)) <= 0:
+                raise TraceError(f"call #{index}: malloc needs positive 'nbytes'")
+            live_buffers.add(call.get("buf"))
+        elif op in ("h2d", "d2h", "free"):
+            buf = call.get("buf")
+            if buf not in live_buffers:
+                raise TraceError(
+                    f"call #{index}: {op} references unallocated buffer {buf!r}"
+                )
+            if op == "free":
+                live_buffers.discard(buf)
+        elif op == "launch":
+            kernel_spec = call.get("kernel")
+            if isinstance(kernel_spec, str):
+                if kernel_spec not in trace.kernels:
+                    raise TraceError(
+                        f"call #{index}: launch references unknown kernel "
+                        f"{kernel_spec!r}"
+                    )
+                call["kernel_ref"] = kernel_spec
+            elif isinstance(kernel_spec, Mapping):
+                kernel = _kernel_from_spec(kernel_spec, index)
+                trace.kernels[kernel.name] = kernel
+                call["kernel_ref"] = kernel.name
+            else:
+                raise TraceError(f"call #{index}: launch needs a 'kernel'")
+            for buf in (*call.get("args", ()), call.get("out")):
+                if buf is not None and buf not in live_buffers:
+                    raise TraceError(
+                        f"call #{index}: launch references unallocated "
+                        f"buffer {buf!r}"
+                    )
+            if int(call.get("grid", 0)) <= 0 or int(call.get("block", 0)) <= 0:
+                raise TraceError(
+                    f"call #{index}: launch needs positive 'grid' and 'block'"
+                )
+        elif op == "cpu":
+            if float(call.get("ops", -1)) < 0:
+                raise TraceError(f"call #{index}: cpu needs non-negative 'ops'")
+        trace.calls.append(call)
+    return trace
+
+
+def load_trace(path: Union[str, Path]) -> ApiTrace:
+    """Load a trace from a JSON file."""
+    return parse_trace(Path(path).read_text())
+
+
+def replay(
+    trace: ApiTrace,
+    api: CudaRuntime,
+    inputs: Optional[Mapping[str, np.ndarray]] = None,
+):
+    """Build an application generator that replays ``trace`` on ``api``.
+
+    ``inputs`` optionally maps buffer names to the arrays their ``h2d``
+    calls should carry (functional replay); unmapped buffers copy zeros.
+    Returns the app callable; its return value is the last ``d2h``
+    result holder (or None).
+    """
+    inputs = dict(inputs or {})
+
+    def app():
+        handles: Dict[str, str] = {}
+        last_read = None
+        for call in trace.calls:
+            op = call["op"]
+            if op == "malloc":
+                handles[call["buf"]] = yield from api.malloc(int(call["nbytes"]))
+            elif op == "free":
+                yield from api.free(handles.pop(call["buf"]))
+            elif op == "h2d":
+                nbytes = int(call["nbytes"])
+                data = inputs.get(
+                    call["buf"], np.zeros(nbytes // 4, dtype=np.float32)
+                )
+                yield from api.memcpy_h2d(
+                    handles[call["buf"]], data, sync=bool(call.get("sync", False))
+                )
+            elif op == "d2h":
+                last_read = yield from api.memcpy_d2h(
+                    handles[call["buf"]],
+                    nbytes=call.get("nbytes"),
+                    sync=bool(call.get("sync", False)),
+                )
+            elif op == "launch":
+                kernel = trace.kernels[call["kernel_ref"]]
+                grid, block = int(call["grid"]), int(call["block"])
+                launch = LaunchConfig(
+                    grid_size=grid,
+                    block_size=block,
+                    elements=int(call.get("elements", grid * block)),
+                )
+                yield from api.launch_kernel(
+                    kernel,
+                    launch,
+                    args=[handles[b] for b in call.get("args", ())],
+                    out=handles.get(call.get("out")),
+                    params=dict(call.get("params", {})),
+                    sync=bool(call.get("sync", False)),
+                )
+            elif op == "sync":
+                yield from api.synchronize()
+            elif op == "cpu":
+                yield from api.cpu_work(float(call["ops"]))
+        yield from api.synchronize()
+        if last_read is not None and last_read.ready:
+            return last_read.value
+        return None
+
+    return app

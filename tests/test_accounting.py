@@ -1,0 +1,82 @@
+"""Tests for latency accounting."""
+
+import pytest
+
+from repro.analysis.accounting import (
+    job_latencies,
+    kind_breakdown,
+    render_accounting,
+    vp_accounts,
+)
+from repro.core import SHARED_MEMORY, SigmaVP
+from repro.core.jobs import JobKind
+from repro.workloads.linalg import make_vectoradd_spec
+
+
+@pytest.fixture(scope="module")
+def finished_framework():
+    framework = SigmaVP(n_vps=2, transport=SHARED_MEMORY)
+    spec = make_vectoradd_spec(elements=4096, iterations=3)
+    framework.run_workload(spec)
+    return framework
+
+
+def test_latencies_cover_all_completed_jobs(finished_framework):
+    latencies = job_latencies(finished_framework.dispatcher)
+    assert latencies
+    for latency in latencies:
+        assert latency.queue_wait_ms >= 0
+        assert latency.service_ms >= 0
+        assert latency.total_ms == pytest.approx(
+            latency.queue_wait_ms + latency.service_ms
+        )
+
+
+def test_members_inherit_merge_dispatch_point(finished_framework):
+    """Merged members were never dispatched individually but still get
+    a full decomposition."""
+    latencies = job_latencies(finished_framework.dispatcher)
+    vps = {latency.vp for latency in latencies}
+    assert {"vp0", "vp1"} <= vps
+
+
+def test_vp_accounts_structure(finished_framework):
+    accounts = vp_accounts(finished_framework)
+    assert set(accounts) == {"vp0", "vp1"}
+    for account in accounts.values():
+        assert account.jobs > 0
+        assert account.guest_cpu_ms > 0
+        assert account.elapsed_ms is not None
+        # Host-side time components are bounded by job count x horizon.
+        assert account.host_total_ms >= 0
+        assert account.service_ms > 0
+
+
+def test_kind_breakdown_means(finished_framework):
+    kinds = kind_breakdown(finished_framework.dispatcher)
+    assert JobKind.KERNEL in kinds
+    assert JobKind.MALLOC in kinds
+    # Mallocs are host bookkeeping: near-zero service.
+    assert kinds[JobKind.MALLOC].service_ms < 0.01
+    assert kinds[JobKind.KERNEL].service_ms > 0
+
+
+def test_render_accounting(finished_framework):
+    text = render_accounting(finished_framework)
+    assert "Per-VP accounting" in text
+    assert "Per-kind latency" in text
+    assert "vp0" in text and "KERNEL" in text
+
+
+def test_service_time_matches_expected_for_serial_run():
+    """In serial mode, a lone copy's service time equals its transfer
+    time (plus nothing: no contention)."""
+    framework = SigmaVP(n_vps=1, transport=SHARED_MEMORY,
+                        interleaving=False, coalescing=False)
+    spec = make_vectoradd_spec(elements=65536, iterations=1)
+    framework.run_workload(spec)
+    latencies = job_latencies(framework.dispatcher)
+    copies = [l for l in latencies if l.kind is JobKind.COPY_H2D]
+    expected = framework.gpu.arch.copy_time_ms(65536 * 4)
+    for latency in copies:
+        assert latency.service_ms == pytest.approx(expected, rel=0.01)

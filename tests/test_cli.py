@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Workload catalog" in out
+    assert "BlackScholes" in out
+    assert "matrixMul" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "vectorAdd", "--vps", "2", "--transport", "shm"]) == 0
+    out = capsys.readouterr().out
+    assert "total simulated time" in out
+    assert "coalescer" in out
+
+
+def test_run_with_gantt(capsys):
+    assert main([
+        "run", "vectorAdd", "--vps", "2", "--transport", "shm", "--gantt",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "compute" in out
+    assert "#" in out
+
+
+def test_run_without_optimizations(capsys):
+    assert main([
+        "run", "vectorAdd", "--vps", "2", "--transport", "shm",
+        "--no-interleaving", "--no-coalescing",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "interleaving=off" in out
+    assert "coalescing=off" in out
+
+
+def test_run_multi_gpu(capsys):
+    assert main([
+        "run", "vectorAdd", "--vps", "4", "--gpus", "2", "--transport", "shm",
+    ]) == 0
+    assert "2 host GPU(s)" in capsys.readouterr().out
+
+
+def test_run_unknown_app():
+    with pytest.raises(KeyError):
+        main(["run", "doom"])
+
+
+def test_estimate_command(capsys):
+    assert main(["estimate", "matrixMul"]) == 0
+    out = capsys.readouterr().out
+    assert "estimate C''" in out
+    assert "estimated power" in out
+    assert "Tegra K1" in out
+
+
+def test_estimate_on_grid_host(capsys):
+    assert main(["estimate", "dct8x8", "--host", "grid"]) == 0
+    assert "Grid K520" in capsys.readouterr().out
+
+
+def test_fig11_subset(capsys):
+    assert main(["fig11", "mergeSort"]) == 0
+    out = capsys.readouterr().out
+    assert "mergeSort" in out
+    assert "Fig 11" in out
+
+
+def test_validate_command(capsys):
+    assert main(["validate", "vectorAdd"]) == 0
+    out = capsys.readouterr().out
+    assert "functional validation" in out
+    assert "OK" in out

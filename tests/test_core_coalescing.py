@@ -1,0 +1,263 @@
+"""Tests for Kernel Coalescing: triples, groups, merges, barriers."""
+
+import pytest
+
+from repro.core.coalescing import KernelCoalescer
+from repro.core.handles import HandleTable
+from repro.core.jobs import Job, JobKind, JobQueue
+from repro.gpu import HostGPU, QUADRO_4000
+from repro.kernels import LaunchConfig, MemoryFootprint, uniform_kernel
+from repro.sim import Environment
+
+
+def _kernel(signature="vecadd", coalescible=True):
+    return uniform_kernel(
+        signature,
+        {"fp32": 2, "load": 2, "store": 1},
+        MemoryFootprint(bytes_in=4096, bytes_out=4096, working_set_bytes=8192),
+        signature=signature,
+        coalescible=coalescible,
+    )
+
+
+def _setup(target_batch=None, **kw):
+    env = Environment()
+    gpu = HostGPU(env, QUADRO_4000)
+    handles = HandleTable()
+    coalescer = KernelCoalescer(
+        env, gpu, handles, target_batch=target_batch, **kw
+    )
+    return env, gpu, handles, coalescer
+
+
+def _triple_jobs(env, vp, seq0=0, signature="vecadd", with_d2h=True, nbytes=4096):
+    kernel = _kernel(signature)
+    launch = LaunchConfig(grid_size=2, block_size=256, elements=512)
+    h2d = Job(vp=vp, seq=seq0, kind=JobKind.COPY_H2D,
+              completion=env.event(), nbytes=nbytes)
+    k = Job(vp=vp, seq=seq0 + 1, kind=JobKind.KERNEL, completion=env.event(),
+            kernel=kernel, launch=launch)
+    jobs = [h2d, k]
+    if with_d2h:
+        jobs.append(Job(vp=vp, seq=seq0 + 2, kind=JobKind.COPY_D2H,
+                        completion=env.event(), nbytes=nbytes))
+    return jobs
+
+
+# -- triple detection ------------------------------------------------------------
+
+
+def test_find_triples_groups_by_key():
+    env, gpu, handles, coalescer = _setup()
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    from repro.core.kernel_match import kernel_digest
+
+    groups = coalescer.find_triples(queue)
+    assert len(groups) == 1
+    triples = groups[(kernel_digest(_kernel()), 256, 0)]  # digest, block, device
+    assert [t.vp for t in triples] == ["a", "b"]
+    assert all(len(t.h2d) == 1 and len(t.d2h) == 1 for t in triples)
+
+
+def test_find_triples_requires_kernel_at_head_region():
+    env, gpu, handles, coalescer = _setup()
+    queue = JobQueue(env)
+    queue.put(Job(vp="a", seq=0, kind=JobKind.MALLOC, completion=env.event(), size=64))
+    for job in _triple_jobs(env, "a", seq0=1):
+        queue.put(job)
+    # The malloc at the head hides the triple: partial order protected.
+    assert coalescer.find_triples(queue) == {}
+
+
+def test_find_triples_ignores_different_signatures():
+    env, gpu, handles, coalescer = _setup()
+    queue = JobQueue(env)
+    for job in _triple_jobs(env, "a", signature="x"):
+        queue.put(job)
+    for job in _triple_jobs(env, "b", signature="y"):
+        queue.put(job)
+    groups = coalescer.find_triples(queue)
+    assert len(groups) == 2
+    assert all(len(ts) == 1 for ts in groups.values())
+
+
+def test_find_triples_skips_non_coalescible():
+    env, gpu, handles, coalescer = _setup()
+    queue = JobQueue(env)
+    kernel = _kernel(coalescible=False)
+    launch = LaunchConfig(grid_size=1, block_size=256, elements=256)
+    queue.put(Job(vp="a", seq=0, kind=JobKind.KERNEL, completion=env.event(),
+                  kernel=kernel, launch=launch))
+    assert coalescer.find_triples(queue) == {}
+
+
+def test_find_triples_never_recoalesces_merged():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    assert merged
+    assert coalescer.find_triples(queue) == {}
+
+
+# -- merging -----------------------------------------------------------------------
+
+
+def test_merge_produces_single_triple():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    kinds = [j.kind for j in merged]
+    assert kinds == [JobKind.COPY_H2D, JobKind.KERNEL, JobKind.COPY_D2H]
+    assert len(queue) == 3
+
+
+def test_merged_kernel_covers_both_launches():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    kernel_job = next(j for j in merged if j.is_kernel)
+    assert kernel_job.launch.grid_size == 4  # 2 + 2
+    assert kernel_job.launch.elements == 1024
+    assert len(kernel_job.members) == 2
+
+
+def test_merged_copies_sum_bytes():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    h2d = next(j for j in merged if j.kind is JobKind.COPY_H2D)
+    assert h2d.nbytes == 8192
+
+
+def test_large_copies_stay_individual():
+    """Copies above the merge limit keep pipelining; the merged kernel
+    depends on them instead."""
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    big = coalescer.copy_merge_limit_bytes * 2
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp, nbytes=big):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    kinds = [j.kind for j in merged]
+    assert kinds == [JobKind.KERNEL]
+    kernel_job = merged[0]
+    assert len(kernel_job.depends_on) == 2
+    # The individual copies are still queued.
+    copies = [j for j in queue if j.is_copy]
+    assert len(copies) == 4
+
+
+def test_merge_sets_barriers_for_members():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    merged = coalescer.coalesce_pass(queue)
+    final = merged[-1]
+    assert queue.barred("a", seq=10)
+    assert queue.barred("b", seq=10)
+    final.completion.succeed()
+    env.run()
+    assert not queue.barred("a", seq=10)
+
+
+def test_merge_respects_max_batch():
+    env, gpu, handles, coalescer = _setup(target_batch=4, max_batch=2)
+    queue = JobQueue(env)
+    for vp in ("a", "b", "c", "d"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    coalescer.coalesce_pass(queue)
+    assert coalescer.stats.merges == 2
+    assert coalescer.stats.batch_sizes == [2, 2]
+
+
+def test_merge_waits_for_goal_inside_window():
+    env, gpu, handles, coalescer = _setup(target_batch=3)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    # Only 2 of 3 expected triples and the window is still open.
+    assert coalescer.coalesce_pass(queue) == []
+    assert coalescer.stats.merges == 0
+
+
+def test_window_expiry_merges_partial_group():
+    env, gpu, handles, coalescer = _setup(target_batch=3, hold_window_ms=1.0)
+    queue = JobQueue(env)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+
+    def later():
+        yield env.timeout(2.0)
+        return coalescer.coalesce_pass(queue)
+
+    merged = env.run(env.process(later()))
+    assert merged
+    assert coalescer.stats.batch_sizes == [2]
+
+
+def test_relayout_binds_members_contiguously():
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    buffers = {}
+    for vp in ("a", "b"):
+        jobs = _triple_jobs(env, vp)
+        in_h = handles.new_handle(vp)
+        out_h = handles.new_handle(vp)
+        handles.bind(in_h, gpu.malloc(4096, owner=vp))
+        handles.bind(out_h, gpu.malloc(4096, owner=vp))
+        jobs[1].arg_handles = (in_h,)
+        jobs[1].out_handle = out_h
+        buffers[vp] = (in_h, out_h)
+        for job in jobs:
+            queue.put(job)
+    coalescer.coalesce_pass(queue)
+    rebound = [handles.buffer(h) for vp in ("a", "b") for h in buffers[vp]]
+    assert gpu.memory.are_contiguous(rebound)
+
+
+def test_min_batch_validation():
+    env = Environment()
+    gpu = HostGPU(env, QUADRO_4000)
+    with pytest.raises(ValueError):
+        KernelCoalescer(env, gpu, HandleTable(), min_batch=1)
+    with pytest.raises(ValueError):
+        KernelCoalescer(env, gpu, HandleTable(), min_batch=4, max_batch=2)
+
+
+def test_hold_deadline_for_incomplete_group():
+    env, gpu, handles, coalescer = _setup(target_batch=3)
+    queue = JobQueue(env)
+    jobs = _triple_jobs(env, "a")
+    for job in jobs:
+        queue.put(job)
+    deadline = coalescer.hold_deadline(queue, jobs[1])
+    assert deadline == pytest.approx(coalescer.hold_window_ms)
+
+
+def test_hold_deadline_none_for_unrelated_job():
+    env, gpu, handles, coalescer = _setup()
+    queue = JobQueue(env)
+    stray = Job(vp="z", seq=0, kind=JobKind.MALLOC, completion=env.event(), size=8)
+    queue.put(stray)
+    assert coalescer.hold_deadline(queue, stray) is None

@@ -1,0 +1,183 @@
+"""Tests for the IPC manager, transports, and VP control."""
+
+import pytest
+
+from repro.core.ipc import IPCManager, IPCTransport, SHARED_MEMORY, SOCKET, VPControl
+from repro.core.jobs import Job, JobKind, JobQueue
+from repro.sim import Environment
+from repro.vp import VirtualPlatform
+
+
+def _job(env):
+    return Job(vp="vp0", seq=0, kind=JobKind.MALLOC, completion=env.event(), size=64)
+
+
+# -- transports ----------------------------------------------------------------
+
+
+def test_transport_latency_only_for_empty_payload():
+    assert SOCKET.transfer_ms(0) == SOCKET.latency_ms
+
+
+def test_transport_payload_adds_bandwidth_time():
+    one_mb = 1_000_000
+    expected = SOCKET.latency_ms + (one_mb / 1e9) / SOCKET.bandwidth_gbps * 1e3
+    assert SOCKET.transfer_ms(one_mb) == pytest.approx(expected)
+
+
+def test_shared_memory_is_zero_copy():
+    """Payloads never cross the shm channel: descriptors only."""
+    assert SHARED_MEMORY.zero_copy
+    assert SHARED_MEMORY.transfer_ms(10**9) == SHARED_MEMORY.latency_ms
+
+
+def test_socket_streams_payloads():
+    assert not SOCKET.zero_copy
+    assert SOCKET.transfer_ms(10**9) > 100 * SOCKET.latency_ms
+
+
+def test_transport_validation():
+    with pytest.raises(ValueError):
+        IPCTransport(name="bad", latency_ms=-1, bandwidth_gbps=1)
+    with pytest.raises(ValueError):
+        IPCTransport(name="bad", latency_ms=0, bandwidth_gbps=0)
+    with pytest.raises(ValueError):
+        SOCKET.transfer_ms(-1)
+
+
+def test_shared_memory_much_faster_than_socket():
+    assert SHARED_MEMORY.latency_ms < SOCKET.latency_ms / 5
+
+
+# -- IPCManager ------------------------------------------------------------------
+
+
+def test_submit_delivers_after_transport_delay():
+    env = Environment()
+    queue = JobQueue(env)
+    ipc = IPCManager(env, queue, transport=SOCKET)
+    job = _job(env)
+
+    def sender():
+        yield from ipc.submit(job)
+        return env.now
+
+    finish = env.run(env.process(sender()))
+    assert finish == pytest.approx(SOCKET.latency_ms)
+    assert queue.jobs == [job]
+
+
+def test_submit_with_payload_takes_longer():
+    env = Environment()
+    queue = JobQueue(env)
+    ipc = IPCManager(env, queue, transport=SOCKET)
+
+    def sender():
+        yield from ipc.submit(_job(env), payload_bytes=4_000_000)
+        return env.now
+
+    finish = env.run(env.process(sender()))
+    assert finish == pytest.approx(SOCKET.latency_ms + 2.0)  # 4MB @ 2GB/s
+
+
+def test_respond_models_return_path():
+    env = Environment()
+    ipc = IPCManager(env, JobQueue(env), transport=SOCKET)
+
+    def receiver():
+        yield from ipc.respond()
+        return env.now
+
+    assert env.run(env.process(receiver())) == pytest.approx(SOCKET.latency_ms)
+
+
+def test_message_and_byte_counters():
+    env = Environment()
+    queue = JobQueue(env)
+    ipc = IPCManager(env, queue, transport=SOCKET)
+
+    def traffic():
+        yield from ipc.submit(_job(env), payload_bytes=1000)
+        yield from ipc.respond(payload_bytes=500)
+
+    env.process(traffic())
+    env.run()
+    assert ipc.messages_sent == 2
+    assert ipc.bytes_transferred == 1500
+
+
+# -- VP control -------------------------------------------------------------------
+
+
+def test_vp_control_registration():
+    env = Environment()
+    control = VPControl()
+    vp = VirtualPlatform(env, "vp0")
+    control.register(vp)
+    assert control.registered() == ["vp0"]
+    with pytest.raises(ValueError):
+        control.register(vp)
+
+
+def test_vp_control_stop_resume():
+    env = Environment()
+    control = VPControl()
+    vp = VirtualPlatform(env, "vp0")
+    control.register(vp)
+
+    control.stop("vp0")
+    assert control.is_stopped("vp0")
+    assert vp.paused
+
+    control.resume("vp0")
+    assert not control.is_stopped("vp0")
+    assert not vp.paused
+
+
+def test_vp_control_stop_idempotent():
+    env = Environment()
+    control = VPControl()
+    vp = VirtualPlatform(env, "vp0")
+    control.register(vp)
+    control.stop("vp0")
+    control.stop("vp0")
+    assert vp.stop_count == 1
+
+
+def test_vp_control_unknown_vp():
+    control = VPControl()
+    with pytest.raises(KeyError):
+        control.stop("ghost")
+
+
+def test_vp_control_resume_all():
+    env = Environment()
+    control = VPControl()
+    vps = [VirtualPlatform(env, f"vp{i}") for i in range(3)]
+    for vp in vps:
+        control.register(vp)
+        control.stop(vp.name)
+    control.resume_all()
+    assert all(not vp.paused for vp in vps)
+
+
+def test_stopped_vp_delays_guest_work():
+    """Stop/resume actually freezes guest progress (Fig. 4b mechanics)."""
+    env = Environment()
+    control = VPControl()
+    vp = VirtualPlatform(env, "vp0")
+    control.register(vp)
+
+    def app():
+        yield from vp.execute_ops(vp.cpu.ops_per_ms)  # 1 ms of work
+        return env.now
+
+    control.stop("vp0")
+    process = vp.run_app(app)
+
+    def resumer():
+        yield env.timeout(7.0)
+        control.resume("vp0")
+
+    env.process(resumer())
+    assert env.run(process) == pytest.approx(8.0)

@@ -1,0 +1,74 @@
+"""Fast tests for the figure-series builders (reduced parameters).
+
+The benchmarks run the full-size sweeps; these exercise the same code
+paths in seconds so ``pytest tests/`` alone covers the analysis layer.
+"""
+
+import pytest
+
+from repro.analysis import (
+    fig9a_series,
+    fig9b_series,
+    fig10a_series,
+    fig10b_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+)
+from repro.gpu import QUADRO_4000
+
+
+def test_fig9a_small():
+    points = fig9a_series(kernel_lengths_ms=(4.0, 13.44))
+    assert len(points) == 2
+    for point in points:
+        assert point.measured > 1.0
+        assert point.expected > 1.0
+
+
+def test_fig9b_small():
+    points = fig9b_series(program_counts=(2, 4))
+    assert [int(p.x) for p in points] == [2, 4]
+    assert points[1].measured > points[0].measured
+
+
+def test_fig10a_small():
+    points = fig10a_series(batch_degrees=(1, 4), n_programs=8)
+    assert points[0].batch == 1 and points[0].speedup == 1.0
+    assert points[-1].speedup > 1.0
+
+
+def test_fig10b_small():
+    points = fig10b_series(grids=(1, 16, 17))
+    times = {p.grid: p.time_ms for p in points}
+    assert times[17] > times[16]
+
+
+def test_fig11_single_app():
+    points = fig11_series(apps=("mergeSort",))
+    assert len(points) == 1
+    assert points[0].multiplexing_speedup > 50
+
+
+def test_fig12_single_host_app():
+    points = fig12_series(hosts=(QUADRO_4000,), apps=("dct8x8",))
+    assert len(points) == 1
+    point = points[0]
+    assert point.t_normalized == 1.0
+    assert point.c_double_prime_normalized == pytest.approx(1.0, abs=0.2)
+
+
+def test_fig13_single_host_app():
+    points = fig13_series(hosts=(QUADRO_4000,), apps=("Mandelbrot",))
+    assert len(points) == 1
+    assert abs(points[0].error_pct) < 12.0
+
+
+def test_sigma_vp_scenario_multi_gpu_passthrough():
+    from repro.core.scenarios import run_sigma_vp
+    from repro.workloads.linalg import make_vectoradd_spec
+
+    spec = make_vectoradd_spec(elements=2048, iterations=1)
+    result = run_sigma_vp(spec, n_vps=4, n_host_gpus=2)
+    framework = result.extras["framework"]
+    assert len(framework.gpus) == 2

@@ -1,0 +1,189 @@
+"""Tests for the GPU architecture catalog."""
+
+import pytest
+
+from repro.gpu import (
+    CATALOG,
+    CacheGeometry,
+    GPUArchitecture,
+    GRID_K520,
+    QUADRO_4000,
+    TEGRA_K1,
+    get_architecture,
+)
+from repro.kernels import ALL_TYPES, InstructionType
+
+
+def test_catalog_contains_paper_gpus():
+    assert set(CATALOG) == {"Quadro 4000", "Grid K520", "Tegra K1"}
+
+
+def test_get_architecture():
+    assert get_architecture("Tegra K1") is TEGRA_K1
+
+
+def test_get_architecture_unknown():
+    with pytest.raises(KeyError):
+        get_architecture("GTX 9000")
+
+
+def test_quadro_core_count():
+    assert QUADRO_4000.total_cores == 256
+
+
+def test_grid_core_count():
+    assert GRID_K520.total_cores == 1536
+
+
+def test_tegra_is_single_smx():
+    assert TEGRA_K1.sm_count == 1
+    assert TEGRA_K1.total_cores == 192
+
+
+def test_host_gpus_have_higher_peak_than_target():
+    """The host GPUs must be much faster than the embedded target."""
+    assert QUADRO_4000.ipc_peak > TEGRA_K1.ipc_peak
+    assert GRID_K520.ipc_peak > TEGRA_K1.ipc_peak
+
+
+def test_tegra_cache_smaller_than_hosts():
+    assert TEGRA_K1.cache.size_kb < QUADRO_4000.cache.size_kb
+    assert TEGRA_K1.cache.size_kb < GRID_K520.cache.size_kb
+
+
+def test_tegra_memory_bandwidth_much_lower():
+    assert TEGRA_K1.memory_bandwidth_gbps < QUADRO_4000.memory_bandwidth_gbps / 4
+
+
+def test_embedded_power_much_lower():
+    assert TEGRA_K1.static_power_w < QUADRO_4000.static_power_w / 10
+    for itype in ALL_TYPES:
+        assert (
+            TEGRA_K1.instruction_energy_nj[itype]
+            < QUADRO_4000.instruction_energy_nj[itype]
+        )
+
+
+def test_issue_cycle_tables_complete():
+    for arch in CATALOG.values():
+        for itype in ALL_TYPES:
+            assert arch.warp_issue_cycles[itype] > 0
+
+
+def test_fermi_fp64_half_rate():
+    ratio = (
+        QUADRO_4000.warp_issue_cycles[InstructionType.FP64]
+        / QUADRO_4000.warp_issue_cycles[InstructionType.FP32]
+    )
+    assert ratio == pytest.approx(2.0)
+
+
+def test_kepler_fp64_is_1_24_rate():
+    for arch in (GRID_K520, TEGRA_K1):
+        ratio = (
+            arch.warp_issue_cycles[InstructionType.FP64]
+            / arch.warp_issue_cycles[InstructionType.FP32]
+        )
+        assert ratio == pytest.approx(24.0)
+
+
+def test_device_issue_cycles_scales_with_parallelism():
+    quadro = QUADRO_4000.device_issue_cycles(InstructionType.FP32)
+    tegra = TEGRA_K1.device_issue_cycles(InstructionType.FP32)
+    # One SMX vs eight SMs: per-instruction elapsed cost is much higher.
+    assert tegra > quadro
+
+
+def test_concurrent_threads_is_alignment_unit():
+    # lambda = 8192 threads on the Quadro: the paper's Fig. 10(b) shows
+    # equal times for grids 9 and 16 at 512-thread blocks.
+    assert QUADRO_4000.concurrent_threads == 8192
+    assert TEGRA_K1.concurrent_threads == 2048
+
+
+def test_concurrent_blocks_thread_limited():
+    # 512-thread blocks on Quadro: 1024 // 512 = 2 per SM, 16 device-wide
+    # (the paper's wave quantum at block size 512).
+    assert QUADRO_4000.concurrent_blocks(512) == 16
+
+
+def test_concurrent_blocks_block_limited():
+    # Tiny blocks hit the per-SM block limit instead.
+    assert QUADRO_4000.concurrent_blocks(32) == 8 * 8
+
+
+def test_concurrent_blocks_validation():
+    with pytest.raises(ValueError):
+        QUADRO_4000.concurrent_blocks(0)
+
+
+def test_cycles_ms_roundtrip():
+    cycles = 1.9e6
+    assert QUADRO_4000.ms_to_cycles(
+        QUADRO_4000.cycles_to_ms(cycles)
+    ) == pytest.approx(cycles)
+
+
+def test_cycles_to_ms_magnitude():
+    # 950 MHz: 950k cycles per millisecond.
+    assert QUADRO_4000.cycles_to_ms(950_000.0) == pytest.approx(1.0)
+
+
+def test_copy_time_zero_bytes():
+    assert QUADRO_4000.copy_time_ms(0) == 0.0
+
+
+def test_copy_time_includes_latency_and_bandwidth():
+    one_mb = 1_000_000
+    t = QUADRO_4000.copy_time_ms(one_mb)
+    assert t > QUADRO_4000.copy_latency_ms
+    expected_bw_ms = (one_mb / 1e9) / QUADRO_4000.copy_bandwidth_gbps * 1e3
+    assert t == pytest.approx(QUADRO_4000.copy_latency_ms + expected_bw_ms)
+
+
+def test_copy_time_negative_rejected():
+    with pytest.raises(ValueError):
+        QUADRO_4000.copy_time_ms(-1)
+
+
+def test_copy_time_13ms_for_fig9_sized_transfer():
+    """Fig. 9(a)'s memcpy takes 13.44 ms; ~53 MB over 4 GB/s reproduces it."""
+    nbytes = int(53.7e6)
+    t = QUADRO_4000.copy_time_ms(nbytes)
+    assert 12.0 < t < 15.0
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheGeometry(size_kb=0, line_bytes=128, associativity=8, miss_penalty_cycles=100)
+    with pytest.raises(ValueError):
+        CacheGeometry(size_kb=64, line_bytes=128, associativity=8, miss_penalty_cycles=-1)
+
+
+def test_architecture_validation():
+    with pytest.raises(ValueError):
+        GPUArchitecture(
+            name="bad",
+            sm_count=0,
+            cores_per_sm=32,
+            schedulers_per_sm=2,
+            clock_mhz=1000,
+            max_threads_per_sm=1024,
+            max_blocks_per_sm=8,
+            warp_size=32,
+            warp_issue_cycles={},
+            cache=CacheGeometry(64, 128, 8, 100),
+            memory_bandwidth_gbps=100,
+            copy_bandwidth_gbps=5,
+            copy_latency_ms=0.01,
+            kernel_launch_overhead_ms=0.01,
+            static_power_w=10,
+            instruction_energy_nj={},
+        )
+
+
+def test_architectures_are_immutable():
+    with pytest.raises(Exception):
+        QUADRO_4000.sm_count = 16
+    with pytest.raises(TypeError):
+        QUADRO_4000.warp_issue_cycles[InstructionType.FP32] = 0.1

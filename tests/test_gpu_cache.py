@@ -1,0 +1,123 @@
+"""Tests for the probabilistic data-cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import QUADRO_4000, TEGRA_K1
+from repro.gpu.cache import (
+    exposed_stall_cycles,
+    hit_probability,
+    latency_hiding_fraction,
+    predict_behavior,
+)
+from repro.kernels import MemoryFootprint
+
+
+def _footprint(working_set, locality=0.7, coalesced=0.9):
+    return MemoryFootprint(
+        bytes_in=working_set,
+        bytes_out=working_set // 4,
+        working_set_bytes=working_set,
+        locality=locality,
+        coalesced_fraction=coalesced,
+    )
+
+
+def test_small_working_set_hits_well():
+    fp = _footprint(working_set=16 * 1024, locality=0.9)
+    p = hit_probability(fp, QUADRO_4000.cache)
+    assert p > 0.8
+
+
+def test_huge_working_set_hits_poorly():
+    fp = _footprint(working_set=512 * 1024 * 1024, locality=0.9)
+    p = hit_probability(fp, QUADRO_4000.cache)
+    assert p < 0.5
+
+
+def test_hit_probability_bounded():
+    for ws in (1, 10**3, 10**6, 10**9):
+        for locality in (0.0, 0.5, 1.0):
+            fp = _footprint(working_set=ws, locality=locality)
+            p = hit_probability(fp, QUADRO_4000.cache)
+            assert 0.0 <= p <= 1.0
+
+
+def test_smaller_cache_hits_less():
+    """The target's 128 KB L2 must miss more than the host's 512 KB."""
+    fp = _footprint(working_set=300 * 1024, locality=0.9)
+    assert hit_probability(fp, TEGRA_K1.cache) < hit_probability(fp, QUADRO_4000.cache)
+
+
+def test_higher_locality_hits_more():
+    low = _footprint(working_set=64 * 1024, locality=0.2)
+    high = _footprint(working_set=64 * 1024, locality=0.9)
+    assert hit_probability(high, QUADRO_4000.cache) > hit_probability(
+        low, QUADRO_4000.cache
+    )
+
+
+def test_streaming_spatial_hits():
+    """Pure streaming still hits on line granularity (128B lines, 8B words)."""
+    fp = _footprint(working_set=10**9, locality=0.0, coalesced=1.0)
+    p = hit_probability(fp, QUADRO_4000.cache)
+    assert p == pytest.approx(1.0 - 8.0 / 128.0)
+
+
+def test_predict_behavior_conservation():
+    fp = _footprint(working_set=64 * 1024)
+    behavior = predict_behavior(fp, QUADRO_4000.cache, accesses=10_000)
+    assert behavior.hits + behavior.misses == pytest.approx(10_000)
+    assert behavior.hits >= 0 and behavior.misses >= 0
+
+
+def test_predict_behavior_negative_accesses():
+    fp = _footprint(working_set=1024)
+    with pytest.raises(ValueError):
+        predict_behavior(fp, QUADRO_4000.cache, accesses=-1)
+
+
+@given(
+    st.integers(min_value=1, max_value=2**30),
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.floats(min_value=0, max_value=1e8, allow_nan=False),
+)
+def test_behavior_invariants(working_set, locality, coalesced, accesses):
+    fp = MemoryFootprint(
+        bytes_in=working_set,
+        bytes_out=0,
+        working_set_bytes=working_set,
+        locality=locality,
+        coalesced_fraction=coalesced,
+    )
+    behavior = predict_behavior(fp, TEGRA_K1.cache, accesses)
+    assert 0.0 <= behavior.hit_probability <= 1.0
+    assert behavior.hits + behavior.misses == pytest.approx(accesses, abs=1e-6)
+
+
+def test_latency_hiding_grows_with_occupancy():
+    # A single warp-sized block hides little; a saturated device hides a lot.
+    sparse = latency_hiding_fraction(QUADRO_4000, block_size=32, grid_size=1)
+    dense = latency_hiding_fraction(QUADRO_4000, block_size=256, grid_size=1000)
+    assert dense > sparse
+
+
+def test_latency_hiding_bounded():
+    for block in (32, 128, 512, 1024):
+        for grid in (1, 10, 1000):
+            h = latency_hiding_fraction(QUADRO_4000, block, grid)
+            assert 0.0 <= h <= 0.92
+
+
+def test_exposed_stalls_higher_on_target():
+    """Tegra's smaller cache and higher miss penalty expose more stalls."""
+    fp = _footprint(working_set=256 * 1024, locality=0.8)
+    host = exposed_stall_cycles(QUADRO_4000, fp, 1e6, block_size=256, grid_size=400)
+    target = exposed_stall_cycles(TEGRA_K1, fp, 1e6, block_size=256, grid_size=400)
+    assert target > host
+
+
+def test_exposed_stalls_zero_without_accesses():
+    fp = _footprint(working_set=1024)
+    assert exposed_stall_cycles(QUADRO_4000, fp, 0.0, 256, 10) == 0.0

@@ -1,0 +1,159 @@
+"""Tests for the device memory allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu import DeviceMemoryAllocator, OutOfDeviceMemory
+
+
+def test_allocate_basics():
+    mem = DeviceMemoryAllocator(1024)
+    buf = mem.allocate(256, owner="vp0")
+    assert buf.size == 256
+    assert buf.owner == "vp0"
+    assert mem.used_bytes == 256
+    assert mem.free_bytes == 768
+
+
+def test_allocate_zero_rejected():
+    mem = DeviceMemoryAllocator(1024)
+    with pytest.raises(ValueError):
+        mem.allocate(0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DeviceMemoryAllocator(0)
+
+
+def test_out_of_memory():
+    mem = DeviceMemoryAllocator(100)
+    mem.allocate(60)
+    with pytest.raises(OutOfDeviceMemory):
+        mem.allocate(50)
+
+
+def test_free_reclaims_space():
+    mem = DeviceMemoryAllocator(100)
+    buf = mem.allocate(100)
+    mem.free(buf)
+    assert mem.free_bytes == 100
+    again = mem.allocate(100)
+    assert again.address == 0
+
+
+def test_double_free_rejected():
+    mem = DeviceMemoryAllocator(100)
+    buf = mem.allocate(10)
+    mem.free(buf)
+    with pytest.raises(RuntimeError):
+        mem.free(buf)
+
+
+def test_free_foreign_buffer_rejected():
+    mem_a = DeviceMemoryAllocator(100)
+    mem_b = DeviceMemoryAllocator(100)
+    buf = mem_a.allocate(10)
+    with pytest.raises(RuntimeError):
+        mem_b.free(buf)
+
+
+def test_first_fit_reuses_gap():
+    mem = DeviceMemoryAllocator(300)
+    a = mem.allocate(100)
+    b = mem.allocate(100)
+    mem.allocate(100)
+    mem.free(a)
+    mem.free(b)
+    # A 150-byte allocation fits in the merged [0, 200) gap.
+    buf = mem.allocate(150)
+    assert buf.address == 0
+
+
+def test_allocate_contiguous_adjacency():
+    mem = DeviceMemoryAllocator(1000)
+    buffers = mem.allocate_contiguous([100, 200, 50], owner="coalesced")
+    assert mem.are_contiguous(buffers)
+    assert buffers[0].end == buffers[1].address
+    assert buffers[1].end == buffers[2].address
+
+
+def test_allocate_contiguous_skips_fragmented_gaps():
+    mem = DeviceMemoryAllocator(1000)
+    a = mem.allocate(100)       # [0, 100)
+    mem.allocate(100)           # [100, 200)
+    mem.free(a)                 # gap [0, 100)
+    buffers = mem.allocate_contiguous([80, 80])
+    # 160 bytes do not fit the 100-byte gap; placed after existing data.
+    assert buffers[0].address == 200
+    assert mem.are_contiguous(buffers)
+
+
+def test_allocate_contiguous_validation():
+    mem = DeviceMemoryAllocator(100)
+    with pytest.raises(ValueError):
+        mem.allocate_contiguous([])
+    with pytest.raises(ValueError):
+        mem.allocate_contiguous([10, 0])
+
+
+def test_allocate_contiguous_out_of_memory():
+    mem = DeviceMemoryAllocator(100)
+    with pytest.raises(OutOfDeviceMemory):
+        mem.allocate_contiguous([60, 60])
+
+
+def test_are_contiguous_detects_gap():
+    mem = DeviceMemoryAllocator(1000)
+    a = mem.allocate(100)
+    _gap = mem.allocate(100)
+    b = mem.allocate(100)
+    assert not mem.are_contiguous([a, b])
+    assert not mem.are_contiguous([])
+
+
+def test_owner_tracking_and_release():
+    mem = DeviceMemoryAllocator(1000)
+    mem.allocate(100, owner="vp0")
+    mem.allocate(200, owner="vp0")
+    mem.allocate(50, owner="vp1")
+    assert len(mem.owned_by("vp0")) == 2
+    released = mem.release_owner("vp0")
+    assert released == 300
+    assert mem.owned_by("vp0") == []
+    assert len(mem.owned_by("vp1")) == 1
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=20))
+def test_contiguous_allocation_total_and_order(sizes):
+    mem = DeviceMemoryAllocator(64 * 20 + 1)
+    buffers = mem.allocate_contiguous(sizes)
+    assert [b.size for b in buffers] == sizes
+    assert mem.are_contiguous(buffers)
+    span = buffers[-1].end - buffers[0].address
+    assert span == sum(sizes)
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=128)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_allocator_never_overlaps(ops):
+    """Property: live buffers never overlap, whatever the alloc/free pattern."""
+    mem = DeviceMemoryAllocator(4096)
+    live = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            try:
+                live.append(mem.allocate(size))
+            except OutOfDeviceMemory:
+                pass
+        else:
+            mem.free(live.pop(0))
+    ordered = sorted(live, key=lambda b: b.address)
+    for left, right in zip(ordered, ordered[1:]):
+        assert left.end <= right.address
+    assert mem.used_bytes == sum(b.size for b in live)

@@ -1,0 +1,127 @@
+"""Tests for the dependency-DAG schedule analytics."""
+
+import pytest
+
+from repro.core.jobs import Job, JobKind
+from repro.core.schedule_analysis import (
+    ScheduleAnalysis,
+    analyze,
+    build_dependency_dag,
+    critical_path,
+)
+from repro.sim import Environment
+
+
+def _job(env, vp, seq, kind=JobKind.COPY_H2D, depends_on=()):
+    return Job(vp=vp, seq=seq, kind=kind, completion=env.event(),
+               depends_on=list(depends_on))
+
+
+#: Durations by kind for tests (ms).
+_DURATIONS = {
+    JobKind.COPY_H2D: 2.0,
+    JobKind.COPY_D2H: 2.0,
+    JobKind.KERNEL: 3.0,
+    JobKind.MALLOC: 0.1,
+    JobKind.FREE: 0.1,
+    JobKind.EVENT: 0.0,
+}
+
+
+def _duration(job):
+    return _DURATIONS[job.kind]
+
+
+def _phase_triple(env, vp):
+    return [
+        _job(env, vp, 0, JobKind.COPY_H2D),
+        _job(env, vp, 1, JobKind.KERNEL),
+        _job(env, vp, 2, JobKind.COPY_D2H),
+    ]
+
+
+def test_dag_has_program_order_edges():
+    env = Environment()
+    jobs = _phase_triple(env, "a")
+    dag = build_dependency_dag(jobs, _duration)
+    assert dag.number_of_nodes() == 3
+    assert dag.has_edge(jobs[0].job_id, jobs[1].job_id)
+    assert dag.has_edge(jobs[1].job_id, jobs[2].job_id)
+    assert not dag.has_edge(jobs[0].job_id, jobs[2].job_id)
+
+
+def test_dag_includes_cross_vp_dependencies():
+    env = Environment()
+    gate = _job(env, "a", 0, JobKind.COPY_H2D)
+    dependent = _job(env, "b", 0, JobKind.KERNEL,
+                     depends_on=[gate.completion])
+    dag = build_dependency_dag([gate, dependent], _duration)
+    assert dag.has_edge(gate.job_id, dependent.job_id)
+
+
+def test_critical_path_is_one_vp_chain():
+    env = Environment()
+    jobs = _phase_triple(env, "a") + _phase_triple(env, "b")
+    analysis = analyze(jobs, _duration)
+    # Each chain is 2 + 3 + 2 = 7 ms; that's the critical path.
+    assert analysis.critical_path_ms == pytest.approx(7.0)
+    assert len(analysis.critical_path) == 3
+
+
+def test_engine_load_bound_dominates_with_many_vps():
+    """Eq. 7's regime: with N programs, the copy engine's total work
+    exceeds the per-program chain, so the engine bound binds."""
+    env = Environment()
+    jobs = []
+    for i in range(8):
+        jobs.extend(_phase_triple(env, f"vp{i}"))
+    analysis = analyze(jobs, _duration)
+    assert analysis.engine_load_ms["h2d"] == pytest.approx(16.0)
+    assert analysis.engine_load_ms["compute"] == pytest.approx(24.0)
+    assert analysis.busiest_engine == "compute"
+    assert analysis.makespan_lower_bound_ms == pytest.approx(24.0)
+
+
+def test_host_jobs_do_not_load_engines():
+    env = Environment()
+    jobs = [_job(env, "a", 0, JobKind.MALLOC),
+            _job(env, "a", 1, JobKind.KERNEL)]
+    analysis = analyze(jobs, _duration)
+    assert "host" not in analysis.engine_load_ms
+    assert analysis.engine_load_ms["compute"] == pytest.approx(3.0)
+
+
+def test_efficiency_ratio():
+    analysis = ScheduleAnalysis(
+        jobs=3, critical_path_ms=7.0, critical_path=[1, 2, 3],
+        engine_load_ms={"compute": 5.0}, makespan_lower_bound_ms=7.0,
+    )
+    assert analysis.efficiency(10.0) == pytest.approx(0.7)
+    assert analysis.efficiency(7.0) == pytest.approx(1.0)
+    assert analysis.efficiency(5.0) == 1.0  # clamped
+    with pytest.raises(ValueError):
+        analysis.efficiency(0.0)
+
+
+def test_empty_snapshot():
+    dag = build_dependency_dag([], _duration)
+    assert critical_path(dag) == []
+    analysis = analyze([], _duration)
+    assert analysis.makespan_lower_bound_ms == 0.0
+    assert analysis.busiest_engine == ""
+
+
+def test_interleaving_achieves_near_bound_end_to_end():
+    """The pipelined dispatcher lands close to the analytic lower bound
+    for the Fig-9 phase loop (Eq. 7 *is* that bound plus pipeline fill)."""
+    from repro.core import SHARED_MEMORY
+    from repro.core.scenarios import run_sigma_vp
+    from repro.workloads.synthetic import make_phase_workload
+
+    spec = make_phase_workload(t_kernel_ms=4.0, t_copy_ms=4.0)
+    result = run_sigma_vp(spec, n_vps=8, interleaving=True, coalescing=False,
+                          transport=SHARED_MEMORY)
+    # Engine-load bound: 8 copies of ~4 ms on the busiest engine.
+    bound = 8 * 4.0
+    assert result.total_ms >= bound
+    assert result.total_ms < bound * 1.6  # within 60% of provably optimal

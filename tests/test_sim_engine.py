@@ -1,0 +1,327 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+    Timeout,
+)
+
+
+def test_time_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_initial_time_is_respected():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3.0)
+        return env.now
+
+    p = env.process(proc())
+    assert env.run(p) == 3.0
+    assert env.now == 3.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        return value
+
+    assert env.run(env.process(proc())) == "payload"
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    trace = []
+
+    def proc():
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            trace.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert trace == [1.0, 3.0, 6.0]
+
+
+def test_parallel_processes_interleave():
+    env = Environment()
+    trace = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        trace.append((name, env.now))
+
+    env.process(proc("slow", 5.0))
+    env.process(proc("fast", 1.0))
+    env.run()
+    assert trace == [("fast", 1.0), ("slow", 5.0)]
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(2.0)
+        return 42
+
+    def outer():
+        result = yield env.process(inner())
+        return result * 2
+
+    assert env.run(env.process(outer())) == 84
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def opener():
+        yield env.timeout(4.0)
+        gate.succeed("opened")
+
+    def waiter():
+        value = yield gate
+        return (env.now, value)
+
+    env.process(opener())
+    assert env.run(env.process(waiter())) == (4.0, "opened")
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return str(exc)
+        return "no error"
+
+    env.process(failer())
+    assert env.run(env.process(waiter())) == "boom"
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_run_until_time():
+    env = Environment()
+    trace = []
+
+    def ticker():
+        while True:
+            yield env.timeout(1.0)
+            trace.append(env.now)
+
+    env.process(ticker())
+    env.run(until=3.5)
+    assert trace == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.run(until=0.0)
+
+
+def test_run_with_no_events_returns():
+    env = Environment()
+    assert env.run() is None
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+        return "completed"
+
+    victim = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        victim.interrupt(cause="stop-vp")
+
+    env.process(interrupter())
+    assert env.run(victim) == ("interrupted", "stop-vp", 2.0)
+
+
+def test_interrupt_detaches_from_old_target():
+    """After an interrupt, the original timeout must not resume the process."""
+    env = Environment()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield env.timeout(5.0)
+        except Interrupt:
+            pass
+        yield env.timeout(10.0)
+        resumed.append(env.now)
+
+    victim = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    # Resumes at 1.0 (interrupt) + 10.0, not at 5.0 + 10.0.
+    assert resumed == [11.0]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return {"answer": 7}
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == {"answer": 7}
+
+
+def test_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        results = yield env.all_of([t1, t2])
+        return (env.now, sorted(results.values()))
+
+    assert env.run(env.process(proc())) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        results = yield env.any_of([t1, t2])
+        return (env.now, list(results.values()))
+
+    assert env.run(env.process(proc())) == (1.0, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        results = yield env.all_of([])
+        return results
+
+    assert env.run(env.process(proc())) == {}
+
+
+def test_deterministic_fifo_at_same_instant():
+    """Events scheduled for the same time fire in scheduling order."""
+    env = Environment()
+    trace = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        trace.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(name))
+    env.run()
+    assert trace == ["a", "b", "c"]
+
+
+def test_run_until_event_exhaustion_error():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(RuntimeError):
+        env.run(never)
+
+
+def test_exception_in_process_propagates_from_run():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise KeyError("inside process")
+
+    p = env.process(bad())
+    with pytest.raises(KeyError):
+        env.run(p)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_infinite():
+    env = Environment()
+    assert env.peek() == float("inf")

@@ -1,0 +1,245 @@
+"""Tests for resources and stores."""
+
+import pytest
+
+from repro.sim import Environment, PriorityItem, PriorityStore, Resource, Store
+
+
+# -- Resource ---------------------------------------------------------------
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    env.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+
+
+def test_resource_release_grants_next():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holders = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            holders.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user("a", 2.0))
+    env.process(user("b", 1.0))
+    env.run()
+    assert holders == [("a", 0.0), ("b", 2.0)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in ("first", "second", "third"):
+        env.process(user(name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_unowned_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    waiting = res.request()
+    env.run()
+    assert not waiting.triggered
+    waiting.cancel()
+    assert waiting not in res.queue
+
+
+# -- Store ------------------------------------------------------------------
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put("item")
+
+    def consumer():
+        item = yield store.get()
+        return item
+
+    env.process(producer())
+    assert env.run(env.process(consumer())) == "item"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer():
+        item = yield store.get()
+        return (item, env.now)
+
+    def producer():
+        yield env.timeout(5.0)
+        yield store.put("late")
+
+    c = env.process(consumer())
+    env.process(producer())
+    assert env.run(c) == ("late", 5.0)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == [0, 1, 2]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(env.now)
+        yield store.put("b")
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0.0, 4.0]
+
+
+def test_store_predicate_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put({"to": "vp1", "body": "x"})
+        yield store.put({"to": "vp0", "body": "y"})
+
+    def consumer():
+        msg = yield store.get(lambda m: m["to"] == "vp0")
+        return msg["body"]
+
+    env.process(producer())
+    assert env.run(env.process(consumer())) == "y"
+    assert len(store) == 1  # vp1's message remains
+
+
+def test_store_predicate_waits_for_match():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put("wrong")
+        yield env.timeout(3.0)
+        yield store.put("right")
+
+    def consumer():
+        item = yield store.get(lambda x: x == "right")
+        return (item, env.now)
+
+    env.process(producer())
+    assert env.run(env.process(consumer())) == ("right", 3.0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    env.run()
+    assert len(store) == 2
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+# -- PriorityStore ------------------------------------------------------------
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+    received = []
+
+    def producer():
+        yield store.put(PriorityItem(3, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(2, "mid"))
+
+    def consumer():
+        # Start after all puts so the heap ordering is observable.
+        yield env.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item.item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == ["high", "mid", "low"]
+
+
+def test_priority_store_rejects_predicates():
+    env = Environment()
+    store = PriorityStore(env)
+    store.put(PriorityItem(1, "x"))
+    env.run()
+    with pytest.raises(NotImplementedError):
+        store.get(lambda item: True)
+        env.run()
+
+
+def test_priority_item_ordering():
+    assert PriorityItem(1, "a") < PriorityItem(2, "b")
+    assert not PriorityItem(2, "a") < PriorityItem(1, "b")

@@ -1,0 +1,146 @@
+"""Tests for design-space sweeps and cross-backend validation."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    derive_architecture,
+    pareto_front,
+    sweep_targets,
+    tegra_scaling_candidates,
+    DesignPoint,
+)
+from repro.analysis.validation import validate_suite, validate_workload
+from repro.gpu import TEGRA_K1
+from repro.workloads import SUITE
+from repro.workloads.linalg import make_vectoradd_spec
+
+
+# -- derive_architecture --------------------------------------------------------
+
+
+def test_derive_overrides_plain_fields():
+    derived = derive_architecture(TEGRA_K1, "fast-k1", clock_mhz=1000.0)
+    assert derived.clock_mhz == 1000.0
+    assert derived.name == "fast-k1"
+    assert derived.sm_count == TEGRA_K1.sm_count
+    assert TEGRA_K1.clock_mhz == 852.0  # base untouched
+
+
+def test_derive_overrides_cache_fields():
+    derived = derive_architecture(
+        TEGRA_K1, "big-cache", cache_size_kb=512, cache_associativity=16
+    )
+    assert derived.cache.size_kb == 512
+    assert derived.cache.associativity == 16
+    assert derived.cache.line_bytes == TEGRA_K1.cache.line_bytes
+
+
+# -- sweeps ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    spec = SUITE["dct8x8"]
+    return sweep_targets(spec, tegra_scaling_candidates())
+
+
+def test_sweep_covers_candidates(sweep_points):
+    assert len(sweep_points) == 6  # 3 SM counts x 2 clocks
+    assert all(p.estimated_time_ms > 0 for p in sweep_points)
+    assert all(p.estimated_power_w > 0 for p in sweep_points)
+
+
+def test_more_smx_is_faster_but_hotter(sweep_points):
+    by_name = {p.name: p for p in sweep_points}
+    one = by_name["TegraK1-like 1SMX @852MHz"]
+    four = by_name["TegraK1-like 4SMX @852MHz"]
+    assert four.estimated_time_ms < one.estimated_time_ms / 2
+    assert four.estimated_power_w > one.estimated_power_w * 1.5
+
+
+def test_higher_clock_is_faster(sweep_points):
+    by_name = {p.name: p for p in sweep_points}
+    slow = by_name["TegraK1-like 2SMX @652MHz"]
+    fast = by_name["TegraK1-like 2SMX @852MHz"]
+    assert fast.estimated_time_ms < slow.estimated_time_ms
+
+
+def test_energy_delay_product():
+    point = DesignPoint(
+        name="x", arch=TEGRA_K1, estimated_time_ms=10.0, estimated_power_w=2.0
+    )
+    assert point.energy_mj == pytest.approx(0.02)
+    assert point.energy_delay_product == pytest.approx(0.2)
+
+
+def test_pareto_front_properties(sweep_points):
+    front = pareto_front(sweep_points)
+    assert front  # non-empty
+    # No front member dominates another.
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            assert not (
+                a.estimated_time_ms <= b.estimated_time_ms
+                and a.estimated_power_w < b.estimated_power_w
+            )
+    # The front is sorted by time.
+    times = [p.estimated_time_ms for p in front]
+    assert times == sorted(times)
+
+
+def test_pareto_front_drops_dominated():
+    good = DesignPoint("good", TEGRA_K1, 1.0, 1.0)
+    bad = DesignPoint("bad", TEGRA_K1, 2.0, 2.0)
+    front = pareto_front([good, bad])
+    assert front == [good]
+
+
+# -- validation ---------------------------------------------------------------------
+
+
+def test_validate_vectoradd_equivalence():
+    spec = make_vectoradd_spec(elements=2048, iterations=2)
+    result = validate_workload(spec)
+    assert result.ok
+    assert result.equivalent
+    assert result.max_abs_difference == pytest.approx(0.0, abs=1e-9)
+
+
+def test_validate_blackscholes_equivalence():
+    spec = SUITE["BlackScholes"].scaled_to(4096, iterations=1)
+    result = validate_workload(spec)
+    assert result.ok, result.detail
+
+
+def test_validate_physics_equivalence():
+    spec = SUITE["physxParticles"].scaled_to(1024, iterations=2)
+    result = validate_workload(spec)
+    assert result.ok, result.detail
+
+
+def test_validate_unregistered_kernel_reports():
+    from repro.kernels import MemoryFootprint, uniform_kernel
+    from repro.workloads.base import WorkloadSpec
+
+    kernel = uniform_kernel(
+        "nosuchfn",
+        {"fp32": 1},
+        MemoryFootprint(bytes_in=1024, bytes_out=1024, working_set_bytes=1024),
+    )
+    spec = WorkloadSpec(name="ghost", kernel=kernel, elements=256,
+                        input_arrays=1, c_ops=1.0)
+    result = validate_workload(spec)
+    assert not result.ok
+    assert "no functional kernel" in result.detail
+
+
+def test_validate_suite_runs_multiple():
+    specs = [
+        make_vectoradd_spec(elements=1024, iterations=1),
+        SUITE["mergeSort"].scaled_to(2048, iterations=1),
+    ]
+    results = validate_suite(specs)
+    assert len(results) == 2
+    assert all(r.ok for r in results)

@@ -1,0 +1,125 @@
+"""Tests for CPU models and the software GPU emulator."""
+
+import pytest
+
+from repro.gpu import QUADRO_4000
+from repro.kernels import LaunchConfig, MemoryFootprint, uniform_kernel
+from repro.vp.cpu import (
+    BINARY_TRANSLATION_SLOWDOWN,
+    CPUModel,
+    EMULATION_BT_PENALTY,
+    HOST_XEON,
+    QEMU_ARM_VP,
+)
+from repro.vp.emulation import EMULATION_OPS, GPUEmulator
+from repro.kernels.ir import InstructionType
+
+
+def _kernel(per_thread):
+    return uniform_kernel(
+        "emu-k",
+        per_thread,
+        MemoryFootprint(bytes_in=4096, bytes_out=4096, working_set_bytes=4096),
+    )
+
+
+def _launch(grid=16, block=256):
+    return LaunchConfig(grid_size=grid, block_size=block, elements=grid * block)
+
+
+# -- CPU models -------------------------------------------------------------
+
+
+def test_vp_slower_than_host_by_bt_factor():
+    ratio = HOST_XEON.ops_per_ms / QEMU_ARM_VP.ops_per_ms
+    assert ratio == pytest.approx(BINARY_TRANSLATION_SLOWDOWN)
+
+
+def test_vp_has_emulation_penalty():
+    assert QEMU_ARM_VP.emulation_penalty == pytest.approx(EMULATION_BT_PENALTY)
+    assert HOST_XEON.emulation_penalty == 1.0
+
+
+def test_time_for_ops():
+    assert HOST_XEON.time_for_ops(HOST_XEON.ops_per_ms) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        HOST_XEON.time_for_ops(-1)
+
+
+def test_copy_time_scales_with_bt():
+    nbytes = 6_000_000
+    host = HOST_XEON.copy_time_ms(nbytes)
+    guest = QEMU_ARM_VP.copy_time_ms(nbytes)
+    assert guest == pytest.approx(host * BINARY_TRANSLATION_SLOWDOWN)
+
+
+def test_cpu_model_validation():
+    with pytest.raises(ValueError):
+        CPUModel(name="bad", ops_per_ms=0)
+    with pytest.raises(ValueError):
+        CPUModel(name="bad", ops_per_ms=1, emulation_penalty=0.5)
+    with pytest.raises(ValueError):
+        CPUModel(name="bad", ops_per_ms=1, copy_bandwidth_gbps=0)
+
+
+# -- emulator -----------------------------------------------------------------
+
+
+def test_emulation_fp_costs_more_than_int():
+    """Softfloat: emulating FP instructions dominates (the Fig. 11
+    FP-light-apps-have-lower-speedups mechanism)."""
+    assert EMULATION_OPS[InstructionType.FP32] > 2 * EMULATION_OPS[InstructionType.INT]
+    assert EMULATION_OPS[InstructionType.FP64] > 2 * EMULATION_OPS[InstructionType.INT]
+
+
+def test_emulator_cost_scales_with_instructions():
+    emulator = GPUEmulator(HOST_XEON)
+    small = emulator.kernel_cost(_kernel({"int": 10}), _launch(grid=8))
+    large = emulator.kernel_cost(_kernel({"int": 10}), _launch(grid=32))
+    assert large.interpret_ms == pytest.approx(4 * small.interpret_ms)
+    assert large.instructions == pytest.approx(4 * small.instructions)
+
+
+def test_emulator_on_vp_slower_than_on_host():
+    kernel, launch = _kernel({"fp32": 20, "int": 5}), _launch()
+    host = GPUEmulator(HOST_XEON).kernel_cost(kernel, launch)
+    vp = GPUEmulator(QEMU_ARM_VP).kernel_cost(kernel, launch)
+    # Interpretation slows by binary translation times the interpreter
+    # penalty; the launch bookkeeping only by binary translation.
+    assert vp.interpret_ms / host.interpret_ms == pytest.approx(
+        BINARY_TRANSLATION_SLOWDOWN * EMULATION_BT_PENALTY, rel=0.01
+    )
+    assert vp.launch_ms / host.launch_ms == pytest.approx(
+        BINARY_TRANSLATION_SLOWDOWN, rel=0.01
+    )
+
+
+def test_fp_heavy_kernel_emulates_slower_per_instruction():
+    launch = _launch()
+    fp = _kernel({"fp32": 30})
+    integer = _kernel({"int": 30})
+    emulator = GPUEmulator(HOST_XEON)
+    fp_cost = emulator.kernel_cost(fp, launch)
+    int_cost = emulator.kernel_cost(integer, launch)
+    assert fp_cost.instructions == pytest.approx(int_cost.instructions)
+    assert fp_cost.interpret_ms > 2 * int_cost.interpret_ms
+
+
+def test_emulator_interprets_host_isa():
+    emulator = GPUEmulator(HOST_XEON)
+    assert emulator.isa_arch is QUADRO_4000
+
+
+def test_emulated_launch_overhead_is_fixed():
+    emulator = GPUEmulator(HOST_XEON)
+    a = emulator.kernel_cost(_kernel({"int": 1}), _launch(grid=1))
+    b = emulator.kernel_cost(_kernel({"int": 100}), _launch(grid=64))
+    assert a.launch_ms == pytest.approx(b.launch_ms)
+    assert a.launch_ms > 0
+
+
+def test_emulator_copy_uses_cpu_bandwidth():
+    emulator = GPUEmulator(QEMU_ARM_VP)
+    assert emulator.copy_time_ms(1000) == pytest.approx(
+        QEMU_ARM_VP.copy_time_ms(1000)
+    )

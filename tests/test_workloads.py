@@ -1,0 +1,198 @@
+"""Tests for the benchmark workload suite."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.functional import REGISTRY
+from repro.workloads import SUITE, WorkloadSpec, build_app, get_workload
+from repro.workloads.catalog import ESTIMATION_APPS
+from repro.workloads.linalg import MATRIX_MUL, make_vectoradd_spec
+from repro.workloads.synthetic import (
+    FIG9_COPY_MS,
+    calibrate_fp32_count,
+    copy_bytes_for_ms,
+    make_phase_workload,
+    measured_phase_times,
+)
+from repro.gpu import QUADRO_4000
+
+
+# -- suite integrity ------------------------------------------------------------
+
+
+def test_suite_size():
+    assert len(SUITE) >= 20
+
+
+def test_suite_contains_paper_applications():
+    paper_apps = {
+        "simpleGL", "Mandelbrot", "marchingCubes", "bicubicTexture",
+        "VolumeFiltering", "recursiveGaussian", "SobelFilter",
+        "stereoDisparity", "convolutionSeparable", "dct8x8",
+        "BlackScholes", "MonteCarlo", "matrixMul", "mergeSort",
+        "nbody", "smokeParticles", "segmentationTreeThrust",
+    }
+    assert paper_apps <= set(SUITE)
+
+
+def test_estimation_apps_in_suite():
+    assert set(ESTIMATION_APPS) <= set(SUITE)
+
+
+def test_get_workload():
+    assert get_workload("matrixMul") is SUITE["matrixMul"]
+    with pytest.raises(KeyError):
+        get_workload("doom")
+
+
+def test_every_spec_has_valid_launch():
+    for spec in SUITE.values():
+        launch = spec.launch_config()
+        assert launch.grid_size >= 1
+        assert launch.threads * max(1, int(spec.kernel.elements_per_thread)) >= (
+            spec.elements
+        )
+
+
+def test_every_spec_has_positive_c_ops():
+    for spec in SUITE.values():
+        assert spec.c_ops > 0, spec.name
+
+
+def test_noncuda_apps_are_the_paper_ones():
+    """OpenGL / file-I/O apps carry non-CUDA work (Section 5's lists)."""
+    for name in ("simpleGL", "Mandelbrot", "marchingCubes", "SobelFilter",
+                 "nbody", "smokeParticles", "MonteCarlo",
+                 "segmentationTreeThrust", "bicubicTexture",
+                 "recursiveGaussian", "VolumeFiltering"):
+        assert SUITE[name].uses_noncuda, name
+    for name in ("BlackScholes", "matrixMul", "dct8x8", "mergeSort"):
+        assert not SUITE[name].uses_noncuda, name
+
+
+def test_non_coalescible_apps_are_the_paper_ones():
+    """'convolutionSeparable, dct8x8, SobelFilter, MonteCarlo, nbody, and
+    smokeParticles have kernels that are not sped up by the two
+    optimizations' (Section 5)."""
+    for name in ("convolutionSeparable", "dct8x8", "SobelFilter",
+                 "MonteCarlo", "nbody", "smokeParticles"):
+        assert not SUITE[name].coalescible, name
+    for name in ("BlackScholes", "matrixMul", "mergeSort", "simpleGL"):
+        assert SUITE[name].coalescible, name
+
+
+def test_fp_fraction_ordering():
+    """BlackScholes is FP-saturated; mergeSort has zero FP."""
+    assert SUITE["BlackScholes"].fp_fraction > 0.5
+    assert SUITE["mergeSort"].fp_fraction == 0.0
+    assert SUITE["SobelFilter"].fp_fraction < 0.2
+
+
+def test_matrixmul_matches_table1_setup():
+    assert MATRIX_MUL.iterations == 300
+    assert MATRIX_MUL.problem_size == 320
+    assert MATRIX_MUL.element_bytes == 8  # double precision
+    assert not MATRIX_MUL.streaming
+
+
+def test_scaled_to():
+    spec = SUITE["BlackScholes"]
+    smaller = spec.scaled_to(spec.elements // 4, iterations=2)
+    assert smaller.elements == spec.elements // 4
+    assert smaller.iterations == 2
+    assert smaller.kernel.footprint.bytes_in == pytest.approx(
+        spec.kernel.footprint.bytes_in / 4, rel=0.01
+    )
+    assert smaller.readback_only == spec.readback_only
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", kernel=MATRIX_MUL.kernel, elements=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", kernel=MATRIX_MUL.kernel, elements=1, iterations=0)
+
+
+def test_functional_kernels_registered_for_key_apps():
+    for name in ("matrixMul", "vectorAdd", "BlackScholes", "dct8x8",
+                 "Mandelbrot", "mergeSort", "transpose", "histogram",
+                 "SobelFilter", "simpleGL"):
+        assert name in REGISTRY, name
+
+
+# -- functional correctness through build_app -------------------------------------
+
+
+def _run_native(spec, seed=0):
+    from repro.core.scenarios import run_native_gpu
+
+    return run_native_gpu(spec, functional=True).extras["result"]
+
+
+def test_vectoradd_app_numerics():
+    spec = make_vectoradd_spec(elements=4096, iterations=2)
+    result = _run_native(spec)
+    a, b = spec.build_inputs(0)
+    np.testing.assert_allclose(result, a + b)
+
+
+def test_blackscholes_app_numerics():
+    spec = SUITE["BlackScholes"].scaled_to(8192, iterations=1)
+    result = _run_native(spec)
+    spot, strike, years = spec.build_inputs(0)
+    from repro.workloads.finance import black_scholes_fn
+
+    expected = black_scholes_fn(spot, strike, years, **spec.params)
+    np.testing.assert_allclose(result, expected)
+    # Sanity: call prices are non-negative and bounded by spot.
+    assert (result >= -1e-5).all()
+    assert (result <= spot + 1e-5).all()
+
+
+def test_mergesort_app_numerics():
+    spec = SUITE["mergeSort"].scaled_to(4096, iterations=1)
+    result = _run_native(spec)
+    (keys,) = spec.build_inputs(0)
+    np.testing.assert_array_equal(result, np.sort(keys))
+
+
+def test_histogram_app_numerics():
+    spec = SUITE["histogram"].scaled_to(65536, iterations=1)
+    result = _run_native(spec)
+    (data,) = spec.build_inputs(0)
+    np.testing.assert_array_equal(result, np.bincount(data, minlength=256))
+
+
+def test_mandelbrot_app_numerics():
+    spec = SUITE["Mandelbrot"].scaled_to(SUITE["Mandelbrot"].elements, iterations=1)
+    result = _run_native(spec)
+    assert result.shape == (1024, 1024)
+    # The set's interior reaches max iterations; the far exterior escapes fast.
+    assert result.max() >= 256
+    assert result.min() <= 2
+
+
+# -- synthetic microbenchmarks -------------------------------------------------------
+
+
+def test_copy_bytes_roundtrip():
+    nbytes = copy_bytes_for_ms(FIG9_COPY_MS)
+    assert QUADRO_4000.copy_time_ms(nbytes) == pytest.approx(FIG9_COPY_MS, rel=0.01)
+
+
+def test_copy_bytes_below_latency_rejected():
+    with pytest.raises(ValueError):
+        copy_bytes_for_ms(0.001)
+
+
+def test_calibrated_kernel_hits_target():
+    for target in (2.0, 13.44, 50.0):
+        spec = make_phase_workload(t_kernel_ms=target, t_copy_ms=4.0)
+        copy_ms, kernel_ms = measured_phase_times(spec)
+        assert kernel_ms == pytest.approx(target, rel=0.05)
+        assert copy_ms == pytest.approx(4.0, rel=0.05)
+
+
+def test_calibration_clamps_at_zero():
+    nbytes = copy_bytes_for_ms(4.0)
+    assert calibrate_fp32_count(0.0, nbytes) == 0.0
