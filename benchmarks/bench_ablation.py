@@ -16,19 +16,23 @@ from repro.core.scenarios import run_sigma_vp
 from repro.gpu import QUADRO_4000, TEGRA_K1
 from repro.workloads import SUITE
 from repro.workloads.linalg import make_vectoradd_spec
-from repro.workloads.synthetic import make_phase_workload
 
 
-def test_ablation_rescheduler(benchmark, record_result):
+def test_ablation_rescheduler(benchmark, record_result, farm_workers):
     """Dependency-aware pipelined dispatch vs the serial FIFO baseline."""
-    spec = make_phase_workload(t_kernel_ms=4.0, t_copy_ms=4.0)
+    from repro.exec import FarmJob, ScenarioFarm
 
     def run_pair():
-        serial = run_sigma_vp(spec, n_vps=8, interleaving=False,
-                              coalescing=False, transport=SHARED_MEMORY)
-        pipelined = run_sigma_vp(spec, n_vps=8, interleaving=True,
-                                 coalescing=False, transport=SHARED_MEMORY)
-        return serial.total_ms, pipelined.total_ms
+        farm = ScenarioFarm(workers=farm_workers)
+        return tuple(farm.map_values([
+            FarmJob(
+                fn="repro.exec.jobs:phase_point",
+                kwargs={"n_vps": 8, "t_kernel_ms": 4.0, "t_copy_ms": 4.0,
+                        "interleaving": interleaving},
+                label="resched:" + ("inter" if interleaving else "fifo"),
+            )
+            for interleaving in (False, True)
+        ]))
 
     serial_ms, pipelined_ms = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     record_result(

@@ -16,8 +16,10 @@ from repro.analysis import (
 )
 
 
-def test_fig10a_coalescence_effectiveness(benchmark, record_result):
-    points = benchmark.pedantic(fig10a_series, rounds=1, iterations=1)
+def test_fig10a_coalescence_effectiveness(benchmark, record_result, farm_workers):
+    points = benchmark.pedantic(
+        fig10a_series, kwargs={"workers": farm_workers}, rounds=1, iterations=1
+    )
     record_result(
         "fig10a",
         render_series(

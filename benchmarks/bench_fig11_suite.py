@@ -14,13 +14,14 @@ from repro.workloads import SUITE
 
 
 @pytest.fixture(scope="module")
-def suite_points():
-    return fig11_series()
+def suite_points(farm_workers):
+    return fig11_series(workers=farm_workers)
 
 
-def test_fig11_regeneration(benchmark, suite_points, record_result):
+def test_fig11_regeneration(benchmark, suite_points, record_result, farm_workers):
     points = benchmark.pedantic(
-        fig11_series, kwargs={"apps": ("BlackScholes", "mergeSort")},
+        fig11_series,
+        kwargs={"apps": ("BlackScholes", "mergeSort"), "workers": farm_workers},
         rounds=1, iterations=1,
     )
     assert len(points) == 2

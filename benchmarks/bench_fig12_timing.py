@@ -12,16 +12,18 @@ from repro.analysis import fig12_series, render_table
 
 
 @pytest.fixture(scope="module")
-def estimation_points():
-    return fig12_series()
+def estimation_points(farm_workers):
+    return fig12_series(workers=farm_workers)
 
 
-def test_fig12_regeneration(benchmark, estimation_points, record_result):
+def test_fig12_regeneration(benchmark, estimation_points, record_result,
+                            farm_workers):
     from repro.gpu import QUADRO_4000
 
     points = benchmark.pedantic(
         fig12_series,
-        kwargs={"hosts": (QUADRO_4000,), "apps": ("matrixMul",)},
+        kwargs={"hosts": (QUADRO_4000,), "apps": ("matrixMul",),
+                "workers": farm_workers},
         rounds=1, iterations=1,
     )
     assert len(points) == 1

@@ -12,16 +12,18 @@ from repro.analysis import fig13_series, render_table
 
 
 @pytest.fixture(scope="module")
-def power_points():
-    return fig13_series()
+def power_points(farm_workers):
+    return fig13_series(workers=farm_workers)
 
 
-def test_fig13_regeneration(benchmark, power_points, record_result):
+def test_fig13_regeneration(benchmark, power_points, record_result,
+                            farm_workers):
     from repro.gpu import QUADRO_4000
 
     points = benchmark.pedantic(
         fig13_series,
-        kwargs={"hosts": (QUADRO_4000,), "apps": ("matrixMul",)},
+        kwargs={"hosts": (QUADRO_4000,), "apps": ("matrixMul",),
+                "workers": farm_workers},
         rounds=1, iterations=1,
     )
     assert len(points) == 1

@@ -12,8 +12,10 @@ from repro.analysis import fig9a_series, fig9b_series, render_series
 from repro.core.interleaving import balanced_speedup
 
 
-def test_fig9a_kernel_length_sweep(benchmark, record_result):
-    points = benchmark.pedantic(fig9a_series, rounds=1, iterations=1)
+def test_fig9a_kernel_length_sweep(benchmark, record_result, farm_workers):
+    points = benchmark.pedantic(
+        fig9a_series, kwargs={"workers": farm_workers}, rounds=1, iterations=1
+    )
     record_result(
         "fig9a",
         render_series(
@@ -36,8 +38,10 @@ def test_fig9a_kernel_length_sweep(benchmark, record_result):
     assert 8.0 <= peak.x <= 25.0
 
 
-def test_fig9b_program_count_sweep(benchmark, record_result):
-    points = benchmark.pedantic(fig9b_series, rounds=1, iterations=1)
+def test_fig9b_program_count_sweep(benchmark, record_result, farm_workers):
+    points = benchmark.pedantic(
+        fig9b_series, kwargs={"workers": farm_workers}, rounds=1, iterations=1
+    )
     record_result(
         "fig9b",
         render_series(

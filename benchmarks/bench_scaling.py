@@ -8,25 +8,31 @@ carries two) buy back?
 import pytest
 
 from repro.analysis import render_table
-from repro.core import SHARED_MEMORY, SigmaVP
-from repro.workloads.synthetic import make_phase_workload
+from repro.exec import FarmJob, ScenarioFarm
 
 
-def _run(n_vps: int, n_gpus: int, spec) -> float:
-    framework = SigmaVP(
-        n_vps=n_vps,
-        n_host_gpus=n_gpus,
-        transport=SHARED_MEMORY,
-        coalescing=False,
-    )
-    return framework.run_workload(spec)
+def _sweep(farm_workers, grid, **common):
+    """Fan (n_vps, n_gpus) phase-loop points over the scenario farm."""
+    farm = ScenarioFarm(workers=farm_workers)
+    values = farm.map_values([
+        FarmJob(
+            fn="repro.exec.jobs:phase_point",
+            kwargs={"n_vps": n, "n_host_gpus": g, **common},
+            label=f"scale:{n}vps/{g}gpu",
+        )
+        for n, g in grid
+    ])
+    return dict(zip(grid, values))
 
 
-def test_scaling_with_vp_count(benchmark, record_result):
-    spec = make_phase_workload(t_kernel_ms=4.0, t_copy_ms=2.0, iterations=2)
-
+def test_scaling_with_vp_count(benchmark, record_result, farm_workers):
     def sweep():
-        return {n: _run(n, 1, spec) for n in (1, 2, 4, 8, 16)}
+        totals = _sweep(
+            farm_workers,
+            [(n, 1) for n in (1, 2, 4, 8, 16)],
+            t_kernel_ms=4.0, t_copy_ms=2.0, iterations=2,
+        )
+        return {n: total for (n, _), total in totals.items()}
 
     totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [
@@ -49,11 +55,14 @@ def test_scaling_with_vp_count(benchmark, record_result):
     assert values == sorted(values)
 
 
-def test_scaling_with_host_gpus(benchmark, record_result):
-    spec = make_phase_workload(t_kernel_ms=6.0, t_copy_ms=1.0, iterations=2)
-
+def test_scaling_with_host_gpus(benchmark, record_result, farm_workers):
     def sweep():
-        return {g: _run(8, g, spec) for g in (1, 2, 4)}
+        totals = _sweep(
+            farm_workers,
+            [(8, g) for g in (1, 2, 4)],
+            t_kernel_ms=6.0, t_copy_ms=1.0, iterations=2,
+        )
+        return {g: total for (_, g), total in totals.items()}
 
     totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [

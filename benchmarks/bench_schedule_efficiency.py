@@ -10,9 +10,7 @@ workload shapes — the quantitative version of Fig. 3's before/after.
 import pytest
 
 from repro.analysis import render_table
-from repro.core import SHARED_MEMORY
-from repro.core.scenarios import run_sigma_vp
-from repro.workloads.synthetic import make_phase_workload
+from repro.exec import FarmJob, ScenarioFarm
 
 #: (name, kernel ms, copy ms): balanced, copy-bound, compute-bound.
 SHAPES = (
@@ -33,23 +31,30 @@ def _bound_ms(t_kernel, t_copy, n_vps):
     return max(n_vps * t_copy, n_vps * t_kernel, 2 * t_copy + t_kernel)
 
 
-def test_schedule_efficiency(benchmark, record_result):
+def test_schedule_efficiency(benchmark, record_result, farm_workers):
     def sweep():
+        farm = ScenarioFarm(workers=farm_workers)
+        totals = farm.map_values([
+            FarmJob(
+                fn="repro.exec.jobs:phase_point",
+                kwargs={"n_vps": N_VPS, "t_kernel_ms": t_kernel,
+                        "t_copy_ms": t_copy, "interleaving": interleaving},
+                label=f"sched:{name}:{'inter' if interleaving else 'serial'}",
+            )
+            for name, t_kernel, t_copy in SHAPES
+            for interleaving in (False, True)
+        ])
         rows = []
-        for name, t_kernel, t_copy in SHAPES:
-            spec = make_phase_workload(t_kernel_ms=t_kernel, t_copy_ms=t_copy)
-            serial = run_sigma_vp(spec, n_vps=N_VPS, interleaving=False,
-                                  coalescing=False, transport=SHARED_MEMORY)
-            inter = run_sigma_vp(spec, n_vps=N_VPS, interleaving=True,
-                                 coalescing=False, transport=SHARED_MEMORY)
+        for index, (name, t_kernel, t_copy) in enumerate(SHAPES):
+            serial_ms, inter_ms = totals[2 * index], totals[2 * index + 1]
             bound = _bound_ms(t_kernel, t_copy, N_VPS)
             rows.append((
                 name,
                 bound,
-                serial.total_ms,
-                bound / serial.total_ms,
-                inter.total_ms,
-                bound / inter.total_ms,
+                serial_ms,
+                bound / serial_ms,
+                inter_ms,
+                bound / inter_ms,
             ))
         return rows
 

@@ -12,12 +12,15 @@ from repro.analysis import build_table1, render_table1
 
 
 @pytest.fixture(scope="module")
-def table1_rows():
-    return build_table1()
+def table1_rows(farm_workers):
+    return build_table1(workers=farm_workers)
 
 
-def test_table1_regeneration(benchmark, table1_rows, record_result):
-    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+def test_table1_regeneration(benchmark, table1_rows, record_result,
+                             farm_workers):
+    rows = benchmark.pedantic(
+        build_table1, kwargs={"workers": farm_workers}, rounds=1, iterations=1
+    )
     record_result("table1", render_table1(rows))
     by_key = {row.key: row for row in rows}
     # The reproduction contract: every route's ratio within 35% of the

@@ -3,13 +3,24 @@
 Every benchmark regenerates one of the paper's tables or figures,
 prints it, and archives the rendered text under ``benchmarks/results/``
 so a run leaves a complete paper-vs-measured record behind.
+
+Set ``REPRO_BENCH_WORKERS=N`` to fan each figure/table's independent
+simulation points over N scenario-farm worker processes; the results
+are bit-identical to the default serial runs, only faster.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def farm_workers():
+    """Scenario-farm worker count for the series drivers."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
 
 @pytest.fixture

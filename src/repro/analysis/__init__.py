@@ -31,6 +31,7 @@ from .sweeps import (
     DesignPoint,
     derive_architecture,
     pareto_front,
+    sweep_suite,
     sweep_targets,
     tegra_scaling_candidates,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "derive_architecture",
     "pareto_front",
     "render_gantt",
+    "sweep_suite",
     "sweep_targets",
     "tegra_scaling_candidates",
     "validate_suite",

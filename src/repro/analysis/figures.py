@@ -4,6 +4,14 @@ Each ``fig*_series`` function runs the corresponding experiment through
 the full simulation stack and returns the measured series next to the
 analytical/expected values the paper plots, ready for
 :func:`repro.analysis.reporting.render_series`.
+
+Every point of a figure is an independent simulation, so each series
+fans its points out over the :class:`~repro.exec.ScenarioFarm`: pass
+``workers=N`` to run N points concurrently in worker processes.  The
+default ``workers=1`` runs the identical job functions serially
+in-process, so parallel and serial series are bit-identical.  Custom
+(non-catalogued) transports cannot be named across a process boundary;
+those series fall back to in-process execution.
 """
 
 from __future__ import annotations
@@ -11,21 +19,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.estimation import ExecutionAnalyzer
-from ..core.interleaving import (
-    balanced_speedup,
-    expected_speedup,
-)
 from ..core.ipc import IPCTransport, SHARED_MEMORY
-from ..core.scenarios import run_emulation, run_sigma_vp
+from ..exec import jobs as farm_jobs
+from ..exec.farm import ScenarioFarm
 from ..gpu.arch import GPUArchitecture, GRID_K520, QUADRO_4000, TEGRA_K1
 from ..gpu.timing import KernelTimingModel
 from ..kernels.compiler import KernelCompiler
 from ..kernels.launch import LaunchConfig
-from ..workloads.base import WorkloadSpec
-from ..workloads.catalog import ESTIMATION_APPS, get_workload
-from ..workloads.linalg import make_vectoradd_kernel, make_vectoradd_spec
-from ..workloads.synthetic import make_phase_workload, measured_phase_times
+from ..workloads.catalog import ESTIMATION_APPS
+from ..workloads.linalg import make_vectoradd_kernel
+
+
+def _transport_workers(transport: IPCTransport, workers: int) -> int:
+    """Effective worker count for a series over ``transport``.
+
+    Catalogued transports are named across the process boundary; a
+    custom one is registered for in-process resolution and forces the
+    serial path (it cannot be reconstructed by name in a worker).
+    """
+    if transport.name not in farm_jobs.TRANSPORTS:
+        farm_jobs.TRANSPORTS[transport.name] = transport
+        return 1
+    return workers
 
 
 # ---------------------------------------------------------------------------
@@ -46,51 +61,46 @@ def fig9a_series(
     kernel_lengths_ms: Sequence[float] = (1.0, 4.0, 8.0, 13.44, 20.0, 40.0, 60.0, 80.0, 100.0),
     t_copy_ms: float = 13.44,
     transport: IPCTransport = SHARED_MEMORY,
+    workers: int = 1,
 ) -> List[InterleavingPoint]:
     """Fig. 9(a): two interleaved programs, kernel length swept.
 
     The copy time is fixed at the paper's 13.44 ms; speedup peaks where
     the kernel matches it (latency hiding).
     """
-    points = []
-    for t_kernel in kernel_lengths_ms:
-        spec = make_phase_workload(t_kernel_ms=t_kernel, t_copy_ms=t_copy_ms)
-        tm, tk = measured_phase_times(spec)
-        serial = run_sigma_vp(spec, n_vps=2, interleaving=False,
-                              coalescing=False, transport=transport)
-        inter = run_sigma_vp(spec, n_vps=2, interleaving=True,
-                             coalescing=False, transport=transport)
-        points.append(
-            InterleavingPoint(
-                x=tk,
-                measured=serial.total_ms / inter.total_ms,
-                expected=expected_speedup(2, tm, tk),
-            )
-        )
-    return points
+    farm = ScenarioFarm(workers=_transport_workers(transport, workers))
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig9a_point",
+        [
+            {"t_kernel_ms": tk, "t_copy_ms": t_copy_ms,
+             "transport": transport.name}
+            for tk in kernel_lengths_ms
+        ],
+        label="fig9a",
+    )
+    return [InterleavingPoint(**value) for value in values]
 
 
 def fig9b_series(
     program_counts: Sequence[int] = (2, 4, 8, 16, 32),
     t_phase_ms: float = 4.0,
     transport: IPCTransport = SHARED_MEMORY,
+    workers: int = 1,
 ) -> List[InterleavingPoint]:
     """Fig. 9(b): N interleaved programs with Tk = Tm; expected = 3N/(N+2)."""
-    points = []
-    spec = make_phase_workload(t_kernel_ms=t_phase_ms, t_copy_ms=t_phase_ms)
-    for n in program_counts:
-        serial = run_sigma_vp(spec, n_vps=n, interleaving=False,
-                              coalescing=False, transport=transport)
-        inter = run_sigma_vp(spec, n_vps=n, interleaving=True,
-                             coalescing=False, transport=transport)
-        points.append(
-            InterleavingPoint(
-                x=n,
-                measured=serial.total_ms / inter.total_ms,
-                expected=balanced_speedup(n),
-            )
-        )
-    return points
+    farm = ScenarioFarm(workers=_transport_workers(transport, workers))
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig9b_point",
+        [
+            {"n_programs": n, "t_phase_ms": t_phase_ms,
+             "transport": transport.name}
+            for n in program_counts
+        ],
+        label="fig9b",
+    )
+    return [InterleavingPoint(**value) for value in values]
 
 
 # ---------------------------------------------------------------------------
@@ -116,33 +126,30 @@ def fig10a_series(
     batch_degrees: Sequence[int] = (1, 2, 4, 8, 16, 32, 48, 64),
     n_programs: int = 64,
     transport: IPCTransport = SHARED_MEMORY,
+    workers: int = 1,
 ) -> List[CoalescingPoint]:
     """Fig. 10(a): vectorAdd, 64 programs, coalescing degree swept.
 
     Per-program work is fixed (the total stays the same as the paper
     requires); the baseline is the same 64 programs with coalescing off.
     """
-    spec = make_vectoradd_spec(
-        elements=4096, iterations=1, block_size=512,
-        elements_per_thread=8, fp32_per_element=4000,
+    farm = ScenarioFarm(workers=_transport_workers(transport, workers))
+    batches = [1] + [b for b in batch_degrees if b > 1]
+    totals = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig10a_point",
+        [
+            {"batch": batch, "n_programs": n_programs,
+             "transport": transport.name}
+            for batch in batches
+        ],
+        label="fig10a",
     )
-    base = run_sigma_vp(spec, n_vps=n_programs, interleaving=False,
-                        coalescing=False, transport=transport).total_ms
-    points = [CoalescingPoint(batch=1, total_ms=base, speedup=1.0)]
-    for batch in batch_degrees:
-        if batch <= 1:
-            continue
-        result = run_sigma_vp(spec, n_vps=n_programs, interleaving=False,
-                              coalescing=True, max_batch=batch,
-                              transport=transport)
-        points.append(
-            CoalescingPoint(
-                batch=batch,
-                total_ms=result.total_ms,
-                speedup=base / result.total_ms,
-            )
-        )
-    return points
+    base = totals[0]
+    return [
+        CoalescingPoint(batch=batch, total_ms=total, speedup=base / total)
+        for batch, total in zip(batches, totals)
+    ]
 
 
 @dataclass
@@ -213,25 +220,17 @@ FIG11_APPS: Tuple[str, ...] = (
 def fig11_series(
     apps: Sequence[str] = FIG11_APPS,
     n_vps: int = 8,
+    workers: int = 1,
 ) -> List[SuitePoint]:
     """Fig. 11: per-app emulation time and SigmaVP speedups on 8 VPs."""
-    points = []
-    for name in apps:
-        spec = get_workload(name)
-        emul = run_emulation(spec, n_instances=n_vps).total_ms
-        base = run_sigma_vp(spec, n_vps=n_vps, interleaving=False,
-                            coalescing=False).total_ms
-        opt = run_sigma_vp(spec, n_vps=n_vps, interleaving=True,
-                           coalescing=True).total_ms
-        points.append(
-            SuitePoint(
-                app=name,
-                emulation_ms=emul,
-                multiplexing_speedup=emul / base,
-                optimized_speedup=emul / opt,
-            )
-        )
-    return points
+    farm = ScenarioFarm(workers=workers)
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig11_point",
+        [{"app": name, "n_vps": n_vps} for name in apps],
+        label="fig11",
+    )
+    return [SuitePoint(**value) for value in values]
 
 
 # ---------------------------------------------------------------------------
@@ -257,30 +256,21 @@ def fig12_series(
     hosts: Sequence[GPUArchitecture] = (QUADRO_4000, GRID_K520),
     apps: Sequence[str] = ESTIMATION_APPS,
     target: GPUArchitecture = TEGRA_K1,
+    workers: int = 1,
 ) -> List[EstimationPoint]:
     """Fig. 12: normalized execution times, two hosts x four apps."""
-    points = []
-    for host in hosts:
-        analyzer = ExecutionAnalyzer(host, target)
-        for name in apps:
-            spec = get_workload(name)
-            kernel, launch = spec.kernel, spec.launch_config()
-            host_profile = analyzer.profile_on_host(kernel, launch)
-            truth_ms = analyzer.observe_on_target(kernel, launch).time_ms
-            est = analyzer.analyze(kernel, launch, host_profile=host_profile)
-            norm = lambda cycles: analyzer.estimated_time_ms(cycles) / truth_ms
-            points.append(
-                EstimationPoint(
-                    app=name,
-                    host=host.name,
-                    h_normalized=host_profile.time_ms / truth_ms,
-                    t_normalized=1.0,
-                    c_normalized=norm(est.c_cycles),
-                    c_prime_normalized=norm(est.c_prime_cycles),
-                    c_double_prime_normalized=norm(est.c_double_prime_cycles),
-                )
-            )
-    return points
+    farm = ScenarioFarm(workers=workers)
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig12_point",
+        [
+            {"host": host.name, "app": name, "target": target.name}
+            for host in hosts
+            for name in apps
+        ],
+        label="fig12",
+    )
+    return [EstimationPoint(**value) for value in values]
 
 
 @dataclass
@@ -301,25 +291,18 @@ def fig13_series(
     hosts: Sequence[GPUArchitecture] = (QUADRO_4000, GRID_K520),
     apps: Sequence[str] = ESTIMATION_APPS,
     target: GPUArchitecture = TEGRA_K1,
+    workers: int = 1,
 ) -> List[PowerPoint]:
     """Fig. 13: normalized power, two hosts x four apps (within ~10%)."""
-    points = []
-    for host in hosts:
-        analyzer = ExecutionAnalyzer(host, target)
-        for name in apps:
-            spec = get_workload(name)
-            kernel, launch = spec.kernel, spec.launch_config()
-            host_profile = analyzer.profile_on_host(kernel, launch)
-            measured = analyzer.observed_power(kernel, launch)
-            estimated = analyzer.estimate_power(
-                kernel, launch, host_profile=host_profile
-            )
-            points.append(
-                PowerPoint(
-                    app=name,
-                    host=host.name,
-                    measured_w=measured.total_w,
-                    estimated_w=estimated.total_w,
-                )
-            )
-    return points
+    farm = ScenarioFarm(workers=workers)
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:fig13_point",
+        [
+            {"host": host.name, "app": name, "target": target.name}
+            for host in hosts
+            for name in apps
+        ],
+        label="fig13",
+    )
+    return [PowerPoint(**value) for value in values]

@@ -119,6 +119,60 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     return sorted(front, key=lambda p: p.estimated_time_ms)
 
 
+def sweep_suite(
+    apps: Sequence[str],
+    sm_counts: Sequence[int] = (1, 2, 4),
+    clocks_mhz: Sequence[float] = (652.0, 852.0),
+    host: GPUArchitecture = QUADRO_4000,
+    workers: int = 1,
+) -> Dict[str, List[DesignPoint]]:
+    """Sweep the Tegra-scaling candidate grid across many workloads.
+
+    This is the farm-parallel face of the exploration loop: every
+    (app, SMX count, clock) combination is one independent estimation
+    job, fanned over ``workers`` processes.  Candidates are re-derived
+    from their grid coordinates on both sides, so the returned
+    :class:`DesignPoint` objects carry the full architecture while the
+    jobs themselves stay JSON-able.
+    """
+    from ..exec import jobs as farm_jobs
+    from ..exec.farm import ScenarioFarm
+
+    grid = [(sm, clock) for sm in sm_counts for clock in clocks_mhz]
+    farm = ScenarioFarm(workers=workers)
+    values = farm_jobs.fanout(
+        farm,
+        "repro.exec.jobs:sweep_point",
+        [
+            {"app": app, "sm_count": sm, "clock_mhz": clock,
+             "host": host.name}
+            for app in apps
+            for sm, clock in grid
+        ],
+        label="sweep",
+    )
+    results: Dict[str, List[DesignPoint]] = {}
+    index = 0
+    for app in apps:
+        points = []
+        for sm, clock in grid:
+            value = values[index]
+            index += 1
+            candidate = tegra_scaling_candidates(
+                sm_counts=(sm,), clocks_mhz=(clock,)
+            )[0]
+            points.append(
+                DesignPoint(
+                    name=value["name"],
+                    arch=candidate,
+                    estimated_time_ms=value["estimated_time_ms"],
+                    estimated_power_w=value["estimated_power_w"],
+                )
+            )
+        results[app] = points
+    return results
+
+
 def tegra_scaling_candidates(
     sm_counts: Sequence[int] = (1, 2, 4),
     clocks_mhz: Sequence[float] = (652.0, 852.0),

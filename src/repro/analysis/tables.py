@@ -45,18 +45,41 @@ class Table1Row:
         return f"{self.language} / {self.executed_by}"
 
 
-def build_table1(spec: Optional[WorkloadSpec] = None) -> List[Table1Row]:
-    """Run all six Table 1 routes and return the rows, paper-ordered."""
+def build_table1(
+    spec: Optional[WorkloadSpec] = None, workers: int = 1
+) -> List[Table1Row]:
+    """Run all six Table 1 routes and return the rows, paper-ordered.
+
+    Each route is an independent simulation; ``workers>1`` fans the six
+    routes over the scenario farm.  A spec that is not the catalogued
+    object of its name cannot be rebuilt by name inside a worker, so it
+    keeps the serial path.
+    """
+    from ..exec import jobs as farm_jobs
+    from ..exec.farm import ScenarioFarm
+    from ..workloads.catalog import SUITE
+
     spec = spec or get_workload("matrixMul")
-    native = run_native_gpu(spec).total_ms
-    measured = {
-        "CUDA / GPU": native,
-        "CUDA / Emul. on CPU": run_emulation(spec, cpu=HOST_XEON).total_ms,
-        "CUDA / Emul. on VP": run_emulation(spec, cpu=QEMU_ARM_VP).total_ms,
-        "CUDA / This work": run_sigma_vp(spec, n_vps=1).total_ms,
-        "C / CPU": run_c_program(spec, cpu=HOST_XEON).total_ms,
-        "C / VP": run_c_program(spec, cpu=QEMU_ARM_VP).total_ms,
-    }
+    routes = list(PAPER_TABLE1)
+    if SUITE.get(spec.name) is spec:
+        farm = ScenarioFarm(workers=workers)
+        times = farm_jobs.fanout(
+            farm,
+            "repro.exec.jobs:table1_route",
+            [{"route": route, "app": spec.name} for route in routes],
+            label="table1",
+        )
+        measured = dict(zip(routes, times))
+    else:
+        measured = {
+            "CUDA / GPU": run_native_gpu(spec).total_ms,
+            "CUDA / Emul. on CPU": run_emulation(spec, cpu=HOST_XEON).total_ms,
+            "CUDA / Emul. on VP": run_emulation(spec, cpu=QEMU_ARM_VP).total_ms,
+            "CUDA / This work": run_sigma_vp(spec, n_vps=1).total_ms,
+            "C / CPU": run_c_program(spec, cpu=HOST_XEON).total_ms,
+            "C / VP": run_c_program(spec, cpu=QEMU_ARM_VP).total_ms,
+        }
+    native = measured["CUDA / GPU"]
     rows = []
     for key, time_ms in measured.items():
         language, executed_by = key.split(" / ", 1)

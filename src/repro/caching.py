@@ -1,0 +1,65 @@
+"""Global cache control for the hot-path memoization layers.
+
+The simulator memoizes pure derived values in several places — compiled
+kernels (:mod:`repro.kernels.compiler`), execution profiles
+(:mod:`repro.gpu.timing`), and version-keyed Job Queue scans
+(:mod:`repro.core.jobs`).  Every cache returns values bit-identical to a
+fresh computation, so caching is purely a wall-clock optimisation and
+can be switched off globally — the ``repro bench`` regression harness
+uses that switch to measure the cold ("seed-path") baseline against the
+warm cached path on identical inputs.
+
+The module sits below every other package (no repro imports) so any
+layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List
+
+_enabled = True
+
+#: Clearer callbacks registered by each caching layer.
+_clearers: List[Callable[[], None]] = []
+
+
+def caches_enabled() -> bool:
+    """Whether the memoization layers may serve cached values."""
+    return _enabled
+
+
+def set_caches_enabled(enabled: bool) -> bool:
+    """Switch all memoization layers on/off; returns the previous state.
+
+    Disabling also clears every registered cache so a later re-enable
+    starts cold — the bench harness relies on that for its cold runs.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    if not _enabled:
+        clear_all_caches()
+    return previous
+
+
+@contextmanager
+def cache_scope(enabled: bool):
+    """Temporarily force caches on or off (used by the bench harness)."""
+    previous = set_caches_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_caches_enabled(previous)
+
+
+def register_cache_clearer(clearer: Callable[[], None]) -> Callable[[], None]:
+    """Register a callback that empties one cache; returns it unchanged."""
+    _clearers.append(clearer)
+    return clearer
+
+
+def clear_all_caches() -> None:
+    """Empty every registered cache (cold-start state)."""
+    for clearer in _clearers:
+        clearer()

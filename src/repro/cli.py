@@ -37,6 +37,21 @@ from .gpu.arch import CATALOG, GRID_K520, QUADRO_4000, TEGRA_K1
 from .workloads import SUITE, get_workload
 
 
+def _vps_list(text: str) -> List[int]:
+    """argparse type for ``--vps``: an int or a comma list of ints."""
+    counts = [int(v) for v in text.split(",") if v != ""]
+    if not counts or any(n < 1 for n in counts):
+        raise ValueError(f"need positive VP counts, got {text!r}")
+    return counts
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise ValueError(f"must be >= 1, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -49,7 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one app on N virtual platforms")
     run.add_argument("app", help="workload name (see `repro list`)")
-    run.add_argument("--vps", type=int, default=8, help="number of VPs")
+    run.add_argument("--vps", default="8", type=_vps_list,
+                     help="number of VPs, or a comma list (e.g. 2,4,8) to "
+                          "fan the sweep over the scenario farm")
+    run.add_argument("--workers", type=_positive_int, default=1,
+                     help="farm worker processes for a --vps comma list")
     run.add_argument("--gpus", type=int, default=1, help="host GPUs to multiplex")
     run.add_argument("--no-interleaving", action="store_true")
     run.add_argument("--no-coalescing", action="store_true")
@@ -61,13 +80,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--account", action="store_true",
                      help="print per-VP / per-kind latency accounting")
 
-    sub.add_parser("table1", help="regenerate Table 1 (matrixMul, six routes)")
-    sub.add_parser("fig9", help="regenerate Fig 9 (Kernel Interleaving)")
-    sub.add_parser("fig10", help="regenerate Fig 10(a) (Kernel Coalescing)")
-    fig11 = sub.add_parser("fig11", help="regenerate Fig 11 (the suite, 8 VPs)")
+    def with_workers(parser_, default=1):
+        parser_.add_argument("--workers", type=_positive_int, default=default,
+                             help="farm worker processes (1 = serial)")
+        return parser_
+
+    with_workers(sub.add_parser(
+        "table1", help="regenerate Table 1 (matrixMul, six routes)"))
+    with_workers(sub.add_parser(
+        "fig9", help="regenerate Fig 9 (Kernel Interleaving)"))
+    with_workers(sub.add_parser(
+        "fig10", help="regenerate Fig 10(a) (Kernel Coalescing)"))
+    fig11 = with_workers(sub.add_parser(
+        "fig11", help="regenerate Fig 11 (the suite, 8 VPs)"))
     fig11.add_argument("apps", nargs="*", help="subset of apps (default: all)")
-    sub.add_parser("fig12", help="regenerate Fig 12 (timing estimation)")
-    sub.add_parser("fig13", help="regenerate Fig 13 (power estimation)")
+    with_workers(sub.add_parser(
+        "fig12", help="regenerate Fig 12 (timing estimation)"))
+    with_workers(sub.add_parser(
+        "fig13", help="regenerate Fig 13 (power estimation)"))
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark-regression harness: pinned suite, serial cold/warm "
+             "vs parallel, bit-identical results asserted",
+    )
+    bench.add_argument("--workers", type=_positive_int, default=4,
+                       help="farm worker processes for the parallel mode")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke subset of the pinned suite")
+    bench.add_argument("-o", "--output", default="BENCH_PR1.json",
+                       help="JSON report path (use '-' to skip writing)")
 
     estimate = sub.add_parser("estimate", help="target time/power for one app")
     estimate.add_argument("app")
@@ -111,7 +153,54 @@ def _cmd_list() -> None:
     ))
 
 
+def _cmd_run_sweep(args: argparse.Namespace, vps_list: List[int]) -> None:
+    """Fan one app across several VP counts over the scenario farm."""
+    from .exec import FarmJob, ScenarioFarm
+
+    farm = ScenarioFarm(workers=args.workers)
+    results = farm.map([
+        FarmJob(
+            fn="repro.exec.jobs:scenario_summary",
+            kwargs={
+                "app": args.app,
+                "n_vps": n,
+                "interleaving": not args.no_interleaving,
+                "coalescing": not args.no_coalescing,
+                "transport": "shm" if args.transport == "shm" else "socket",
+                "n_host_gpus": args.gpus,
+            },
+            label=f"{args.app}:{n}vps",
+        )
+        for n in vps_list
+    ])
+    rows = []
+    for result in results:
+        value = result.value
+        rows.append((
+            value["n_instances"],
+            value["total_ms"],
+            value.get("ipc_messages", "-"),
+            value.get("coalesce_merges", "-"),
+            f"{result.duration_s:.2f}",
+        ))
+    print(render_table(
+        ["VPs", "Total (ms)", "IPC msgs", "Merges", "Host wall (s)"],
+        rows,
+        title=f"{args.app}: VP-count sweep on {farm.workers} worker(s)",
+    ))
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
+    vps_list = args.vps
+    if len(vps_list) > 1:
+        if args.functional or args.gantt or args.account:
+            raise SystemExit(
+                "repro run: error: --functional/--gantt/--account "
+                "need a single --vps count"
+            )
+        _cmd_run_sweep(args, vps_list)
+        return
+    args.vps = vps_list[0]
     spec = get_workload(args.app)
     registry_kwargs = {}
     if args.functional:
@@ -151,12 +240,12 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(render_accounting(framework))
 
 
-def _cmd_table1() -> None:
-    print(render_table1(build_table1()))
+def _cmd_table1(workers: int = 1) -> None:
+    print(render_table1(build_table1(workers=workers)))
 
 
-def _cmd_fig9() -> None:
-    points = fig9b_series()
+def _cmd_fig9(workers: int = 1) -> None:
+    points = fig9b_series(workers=workers)
     print(render_series(
         "Fig 9(b): interleaving speedup vs N programs (Tk = Tm)",
         [int(p.x) for p in points],
@@ -165,7 +254,8 @@ def _cmd_fig9() -> None:
         x_label="N",
     ))
     print()
-    points = fig9a_series(kernel_lengths_ms=(2.0, 8.0, 13.44, 30.0, 60.0))
+    points = fig9a_series(kernel_lengths_ms=(2.0, 8.0, 13.44, 30.0, 60.0),
+                          workers=workers)
     print(render_series(
         "Fig 9(a): speedup vs kernel length (2 programs, Tm = 13.44 ms)",
         [f"{p.x:.2f}" for p in points],
@@ -175,8 +265,8 @@ def _cmd_fig9() -> None:
     ))
 
 
-def _cmd_fig10() -> None:
-    points = fig10a_series()
+def _cmd_fig10(workers: int = 1) -> None:
+    points = fig10a_series(workers=workers)
     print(render_series(
         "Fig 10(a): coalescing 64 vectorAdd programs",
         [p.batch for p in points],
@@ -186,9 +276,9 @@ def _cmd_fig10() -> None:
     ))
 
 
-def _cmd_fig11(apps: List[str]) -> None:
+def _cmd_fig11(apps: List[str], workers: int = 1) -> None:
     kwargs = {"apps": tuple(apps)} if apps else {}
-    points = fig11_series(**kwargs)
+    points = fig11_series(workers=workers, **kwargs)
     print(render_table(
         ["App", "Emulation (s)", "x multiplexing", "x optimized"],
         [(p.app, p.emulation_ms / 1e3, p.multiplexing_speedup,
@@ -197,8 +287,8 @@ def _cmd_fig11(apps: List[str]) -> None:
     ))
 
 
-def _cmd_fig12() -> None:
-    points = fig12_series()
+def _cmd_fig12(workers: int = 1) -> None:
+    points = fig12_series(workers=workers)
     print(render_table(
         ["Host", "App", "H", "T", "C", "C'", "C''"],
         [(p.host, p.app, p.h_normalized, p.t_normalized, p.c_normalized,
@@ -207,8 +297,8 @@ def _cmd_fig12() -> None:
     ))
 
 
-def _cmd_fig13() -> None:
-    points = fig13_series()
+def _cmd_fig13(workers: int = 1) -> None:
+    points = fig13_series(workers=workers)
     print(render_table(
         ["Host", "App", "Measured (W)", "Estimate (W)", "Error (%)"],
         [(p.host, p.app, p.measured_w, p.estimated_w, p.error_pct)
@@ -276,17 +366,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "table1":
-        _cmd_table1()
+        _cmd_table1(args.workers)
     elif args.command == "fig9":
-        _cmd_fig9()
+        _cmd_fig9(args.workers)
     elif args.command == "fig10":
-        _cmd_fig10()
+        _cmd_fig10(args.workers)
     elif args.command == "fig11":
-        _cmd_fig11(args.apps)
+        _cmd_fig11(args.apps, args.workers)
     elif args.command == "fig12":
-        _cmd_fig12()
+        _cmd_fig12(args.workers)
     elif args.command == "fig13":
-        _cmd_fig13()
+        _cmd_fig13(args.workers)
+    elif args.command == "bench":
+        from pathlib import Path
+
+        from .exec.bench import render_report, run_bench
+
+        report = run_bench(
+            workers=args.workers,
+            quick=args.quick,
+            output=None if args.output == "-" else Path(args.output),
+        )
+        print(render_report(report))
+        if args.output != "-":
+            print(f"report written to {args.output}")
     elif args.command == "estimate":
         _cmd_estimate(args)
     elif args.command == "report":

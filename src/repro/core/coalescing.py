@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..caching import caches_enabled
 from ..gpu.device import HostGPU
 from ..sim import Environment
 from .handles import HandleTable
@@ -117,11 +118,37 @@ class KernelCoalescer:
         self.copy_merge_limit_bytes = copy_merge_limit_bytes
         self.stats = CoalesceStats()
         self._merge_counter = 0
+        # Version-keyed triple cache: the dispatcher asks for the triple
+        # grouping on every scheduling decision (``hold_deadline`` per
+        # candidate plus one ``coalesce_pass`` per loop), but the answer
+        # only changes when the queue does.  The ``JobQueue.version``
+        # counter exists for exactly this observer pattern.
+        self._triples_version = -1
+        self._triples_queue: Optional[JobQueue] = None
+        self._triples_cache: Dict[tuple, List[Triple]] = {}
 
     # -- triple discovery --------------------------------------------------
 
     def find_triples(self, queue: JobQueue) -> Dict[tuple, List[Triple]]:
-        """Group each VP's head triple by coalesce key."""
+        """Group each VP's head triple by coalesce key.
+
+        The grouping is pure in the queue contents, so it is cached
+        against :attr:`JobQueue.version` and recomputed only after a
+        structural change (treat the result as read-only).
+        """
+        if (
+            caches_enabled()
+            and self._triples_queue is queue
+            and self._triples_version == queue.version
+        ):
+            return self._triples_cache
+        groups = self._scan_triples(queue)
+        self._triples_queue = queue
+        self._triples_version = queue.version
+        self._triples_cache = groups
+        return groups
+
+    def _scan_triples(self, queue: JobQueue) -> Dict[tuple, List[Triple]]:
         groups: Dict[tuple, List[Triple]] = {}
         vps = {job.vp for job in queue}
         for vp in sorted(vps):

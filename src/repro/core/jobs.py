@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..caching import caches_enabled
 from ..kernels.ir import KernelIR
 from ..kernels.launch import LaunchConfig
 from ..sim import Environment, Event
@@ -42,10 +43,20 @@ COPY_KINDS = (JobKind.COPY_H2D, JobKind.COPY_D2H)
 
 _job_ids = itertools.count()
 
+#: Sentinel marking a job's coalesce key as not yet computed (``None``
+#: is a valid key value, meaning "not coalescible").
+_KEY_UNSET = object()
 
-@dataclass
+
+@dataclass(slots=True)
 class Job:
-    """One GPU request from a VP, as seen by the host."""
+    """One GPU request from a VP, as seen by the host.
+
+    ``slots=True``: jobs are allocated per CUDA call across every VP, so
+    they are among the hottest objects of a simulation; slots cut both
+    the per-instance memory and the attribute-access cost the dispatcher
+    and coalescer pay on every scheduling decision.
+    """
 
     vp: str
     seq: int
@@ -80,6 +91,10 @@ class Job:
     submitted_at_ms: float = 0.0
     dispatched_at_ms: Optional[float] = None
     completed_at_ms: Optional[float] = None
+    # Memoized coalesce key (kernel and launch are fixed at creation).
+    _coalesce_key: Any = field(
+        default=_KEY_UNSET, init=False, repr=False, compare=False
+    )
 
     def __repr__(self) -> str:
         return (
@@ -105,11 +120,14 @@ class Job:
         binary, so the match is on the kernel's code digest, not on a
         name the guests happen to share.
         """
-        if not self.is_kernel or self.kernel is None or self.launch is None:
-            return None
-        from .kernel_match import match_key  # local: avoid import cycle
+        if self._coalesce_key is _KEY_UNSET:
+            if not self.is_kernel or self.kernel is None or self.launch is None:
+                self._coalesce_key = None
+            else:
+                from .kernel_match import match_key  # local: avoid import cycle
 
-        return match_key(self.kernel, self.launch.block_size)
+                self._coalesce_key = match_key(self.kernel, self.launch.block_size)
+        return self._coalesce_key
 
 
 class JobQueue:
@@ -128,6 +146,15 @@ class JobQueue:
         self.total_enqueued = 0
         #: Bumped on every structural change; lets observers cache scans.
         self.version = 0
+        # Version-keyed scan caches: the dispatcher and coalescer consult
+        # heads/pending sets on every scheduling decision, usually many
+        # times between structural changes.  Rebuilt lazily when
+        # ``version`` moves (or on every call when caching is disabled).
+        self._scan_version = -1
+        self._heads: Dict[str, Job] = {}
+        self._by_vp: Dict[str, List[Job]] = {}
+        self._key_version = -1
+        self._by_key: Dict[tuple, List[Job]] = {}
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -201,21 +228,50 @@ class JobQueue:
             return False
         return True
 
+    def _refresh_scan(self) -> None:
+        """Rebuild the per-VP scan caches for the current queue version."""
+        heads: Dict[str, Job] = {}
+        by_vp: Dict[str, List[Job]] = {}
+        for job in self._jobs:
+            by_vp.setdefault(job.vp, []).append(job)
+            head = heads.get(job.vp)
+            if head is None or job.seq < head.seq:
+                heads[job.vp] = job
+        self._heads = heads
+        self._by_vp = by_vp
+        self._scan_version = self.version
+
     def heads_per_vp(self) -> Dict[str, Job]:
         """The earliest pending job of each VP — the dispatchable set.
 
         Dispatching only per-VP heads preserves the per-VP partial order
         by construction, whatever cross-VP order a policy picks.
+
+        The returned mapping is a version-keyed cache shared between
+        calls at the same queue version; treat it as read-only.
         """
-        heads: Dict[str, Job] = {}
-        for job in self._jobs:
-            if job.vp not in heads or job.seq < heads[job.vp].seq:
-                heads[job.vp] = job
-        return heads
+        if self._scan_version != self.version or not caches_enabled():
+            self._refresh_scan()
+        return self._heads
 
     def pending_for(self, vp: str) -> List[Job]:
-        return [job for job in self._jobs if job.vp == vp]
+        """``vp``'s pending jobs in queue order (read-only cached list)."""
+        if self._scan_version != self.version or not caches_enabled():
+            self._refresh_scan()
+        return self._by_vp.get(vp, [])
 
     def kernels_matching(self, key: tuple) -> List[Job]:
         """Pending kernel jobs with the given coalesce key."""
-        return [job for job in self._jobs if job.coalesce_key == key]
+        if key is None:
+            # Not a coalescible identity; the grouped cache below indexes
+            # only real keys, so answer with the direct (seed) scan.
+            return [job for job in self._jobs if job.coalesce_key is None]
+        if self._key_version != self.version or not caches_enabled():
+            by_key: Dict[tuple, List[Job]] = {}
+            for job in self._jobs:
+                job_key = job.coalesce_key
+                if job_key is not None:
+                    by_key.setdefault(job_key, []).append(job)
+            self._by_key = by_key
+            self._key_version = self.version
+        return self._by_key.get(key, [])

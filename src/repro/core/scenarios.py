@@ -50,6 +50,30 @@ class ScenarioResult:
             f"n={self.n_instances}, total={self.total_ms:.2f}ms)"
         )
 
+    def summary(self) -> Dict[str, object]:
+        """JSON-able digest of this result.
+
+        This is the wire format of the scenario farm: everything a
+        cross-process caller can consume (``extras`` holds live objects
+        like the framework itself, which stay behind), and exactly what
+        the bench harness hashes when asserting that serial, parallel,
+        cold and warm runs simulate identical outcomes.
+        """
+        out: Dict[str, object] = {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "n_instances": self.n_instances,
+            "total_ms": self.total_ms,
+            "per_instance_ms": list(self.per_instance_ms),
+        }
+        if "ipc_messages" in self.extras:
+            out["ipc_messages"] = self.extras["ipc_messages"]
+        stats = self.extras.get("coalesce_stats")
+        if stats is not None:
+            out["coalesce_merges"] = stats.merges
+            out["kernels_coalesced"] = stats.kernels_coalesced
+        return out
+
 
 def _registry(functional: bool) -> FunctionalRegistry:
     return REGISTRY if functional else NULL_REGISTRY

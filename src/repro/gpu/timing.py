@@ -31,9 +31,11 @@ Elapsed cycles are **issue + data stalls + other stalls**:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
+from ..caching import caches_enabled
 from ..kernels.compiler import CompiledKernel
 from ..kernels.ir import ALL_TYPES, InstructionType, MEMORY_TYPES
 from ..kernels.launch import LaunchConfig
@@ -47,6 +49,11 @@ OTHER_STALL_FRACTION = 0.04
 #: Fixed per-launch pipeline ramp cycles (in addition to the driver-level
 #: launch overhead accounted in milliseconds by the device model).
 PIPELINE_RAMP_CYCLES = 1500.0
+
+#: Default bound on a timing model's profile memo.  The multiplexed VPs
+#: launch the same few (kernel, geometry) pairs thousands of times, so a
+#: few thousand distinct entries cover any realistic simulation.
+DEFAULT_PROFILE_CACHE_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -95,13 +102,42 @@ class ExecutionProfile:
 
 
 class KernelTimingModel:
-    """Times compiled-kernel launches on a given architecture."""
+    """Times compiled-kernel launches on a given architecture.
 
-    def __init__(self, arch: GPUArchitecture):
+    The full profile of a launch is a pure function of the compiled
+    kernel and the launch geometry, and the multiplexed VPs submit the
+    same (kernel, geometry) pairs over and over, so :meth:`execute`
+    memoizes its :class:`ExecutionProfile` per **(compiled kernel,
+    launch)** with LRU eviction.  The cache key uses the compiled
+    kernel's identity — each entry holds a strong reference, so the id
+    cannot be recycled while the entry lives, and a hit additionally
+    verifies the stored object *is* the requested one.  Models are
+    per-architecture instances (one per :class:`HostGPU`), so entries
+    can never leak across architectures.
+    """
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        profile_cache_size: int = DEFAULT_PROFILE_CACHE_SIZE,
+    ):
+        if profile_cache_size < 1:
+            raise ValueError(
+                f"profile_cache_size must be positive, got {profile_cache_size}"
+            )
         self.arch = arch
+        self.profile_cache_size = profile_cache_size
+        self._profile_cache: "OrderedDict[Tuple[int, LaunchConfig], Tuple[CompiledKernel, ExecutionProfile]]" = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __repr__(self) -> str:
         return f"KernelTimingModel({self.arch.name!r})"
+
+    def clear_cache(self) -> None:
+        self._profile_cache.clear()
 
     # -- component models ------------------------------------------------
 
@@ -115,8 +151,11 @@ class KernelTimingModel:
         the resource waste Kernel Coalescing reclaims by merging small
         grids into aligned ones.
         """
-        arch = self.arch
         per_thread = compiled.per_thread_mix(launch.context())
+        return self._issue_cycles_from_mix(per_thread, launch)
+
+    def _issue_cycles_from_mix(self, per_thread, launch: LaunchConfig) -> float:
+        arch = self.arch
         warps_per_block = max(1, math.ceil(launch.block_size / arch.warp_size))
         wave_quantum = arch.concurrent_blocks(launch.block_size)
         blocks_per_sm_per_wave = max(1, wave_quantum // arch.sm_count)
@@ -154,23 +193,63 @@ class KernelTimingModel:
     # -- the full execution ----------------------------------------------
 
     def execute(self, compiled: CompiledKernel, launch: LaunchConfig) -> ExecutionProfile:
-        """Model one launch and return its execution profile."""
+        """Model one launch and return its (memoized) execution profile."""
         if compiled.arch is not self.arch and compiled.arch.name != self.arch.name:
             raise ValueError(
                 f"kernel compiled for {compiled.arch.name!r} cannot execute "
                 f"on {self.arch.name!r}"
             )
+        key = (id(compiled), launch)
+        if caches_enabled():
+            entry = self._profile_cache.get(key)
+            if entry is not None and entry[0] is compiled:
+                self.cache_hits += 1
+                self._profile_cache.move_to_end(key)
+                return entry[1]
+        self.cache_misses += 1
+        profile = self._compute_profile(compiled, launch)
+        if caches_enabled():
+            self._profile_cache[key] = (compiled, profile)
+            if len(self._profile_cache) > self.profile_cache_size:
+                self._profile_cache.popitem(last=False)
+        return profile
+
+    def _compute_profile(
+        self, compiled: CompiledKernel, launch: LaunchConfig
+    ) -> ExecutionProfile:
+        """One launch's profile, with shared intermediates computed once.
+
+        The per-thread mix, access count, and issue cycles feed several
+        component models; deriving them once here (instead of once per
+        public component method) keeps even a cache-miss execution cheap
+        while producing bit-identical numbers — every component below
+        applies the same pure formulas to the same inputs.
+        """
         arch = self.arch
-        sigma = compiled.sigma(launch)
-        issue = self.issue_cycles(compiled, launch)
-        memory = self.memory_cycles(compiled, launch)
-        data_stalls = self.data_stall_cycles(compiled, launch)
+        per_thread = compiled.per_thread_mix(launch.context())
+        threads = launch.threads
+        sigma = {t: per_thread[t] * threads for t in ALL_TYPES}
+        accesses = sum(per_thread[t] for t in MEMORY_TYPES) * threads
+        issue = self._issue_cycles_from_mix(per_thread, launch)
+        memory = cache_model.memory_throughput_cycles(
+            arch, compiled.ir.footprint, accesses
+        )
+        data_stalls = cache_model.data_stall_cycles(
+            arch,
+            compiled.ir.footprint,
+            accesses,
+            launch.block_size,
+            launch.grid_size,
+            issue,
+        )
         other_stalls = OTHER_STALL_FRACTION * issue + PIPELINE_RAMP_CYCLES
         # Bandwidth saturation already surfaces inside the data-stall
         # model, so elapsed time is issue plus stalls.
         elapsed = issue + data_stalls + other_stalls
 
-        behavior = self._cache_behavior(compiled, launch)
+        behavior = cache_model.predict_behavior(
+            compiled.ir.footprint, arch.cache, accesses
+        )
         concurrent = arch.concurrent_blocks(launch.block_size)
         waves = max(1, math.ceil(launch.grid_size / concurrent))
         resident_blocks = min(launch.grid_size, concurrent)
@@ -198,7 +277,12 @@ class KernelTimingModel:
         )
 
     def kernel_time_ms(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
-        """Launch-to-completion time including driver launch overhead."""
+        """Launch-to-completion time including driver launch overhead.
+
+        Served from the profile memo when warm, so the dispatcher's
+        expected-time estimate and the subsequent execution of the same
+        job cost one model evaluation, not two.
+        """
         profile = self.execute(compiled, launch)
         return self.arch.kernel_launch_overhead_ms + profile.time_ms
 

@@ -12,8 +12,11 @@ instructions when compiled for the host and 43 for the target.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+
+from ..caching import caches_enabled, register_cache_clearer
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..gpu.arch import GPUArchitecture
@@ -81,28 +84,50 @@ class CompiledKernel:
         return sum(self.sigma(launch).values())
 
 
+#: Default bound on a compiler's memo; far above any real kernel count,
+#: it only guards pathological churn (e.g. endless merged-kernel variants).
+DEFAULT_COMPILE_CACHE_SIZE = 4096
+
+
 class KernelCompiler:
     """Lowers :class:`KernelIR` to per-architecture static counts.
 
-    Compilation results are cached per (kernel signature, architecture):
-    SigmaVP compiles each distinct kernel once and reuses the result across
-    the many launches that the multiplexed VPs submit.
+    Compilation results are memoized per **(kernel id, arch name)** with
+    LRU eviction: SigmaVP compiles each distinct kernel object once per
+    architecture and reuses the result across the many launches that the
+    multiplexed VPs submit.  Keying on the object identity (the cache
+    entry holds a strong reference, so the id cannot be recycled while
+    the entry lives) means two same-signature kernels that differ in
+    footprint or trip rules — e.g. the coalescer's merged variants —
+    never collide or evict each other.
     """
 
-    def __init__(self):
-        self._cache: Dict[Tuple[str, str], CompiledKernel] = {}
+    def __init__(self, cache_size: int = DEFAULT_COMPILE_CACHE_SIZE):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Tuple[int, str], CompiledKernel]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
 
     def compile(self, kernel: KernelIR, arch: GPUArchitecture) -> CompiledKernel:
-        key = (kernel.signature, arch.name)
-        cached = self._cache.get(key)
-        if cached is not None and cached.ir is kernel:
-            return cached
+        key = (id(kernel), arch.name)
+        if caches_enabled():
+            cached = self._cache.get(key)
+            if cached is not None and cached.ir is kernel:
+                self.hits += 1
+                self._cache.move_to_end(key)
+                return cached
+        self.misses += 1
         blocks = tuple(
             CompiledBlock(source=block, mix=block.mix.expanded(arch.compile_expansion))
             for block in kernel.blocks
         )
         compiled = CompiledKernel(ir=kernel, arch=arch, blocks=blocks)
-        self._cache[key] = compiled
+        if caches_enabled():
+            self._cache[key] = compiled
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return compiled
 
     def clear(self) -> None:
@@ -115,6 +140,8 @@ class KernelCompiler:
 #: A module-level compiler instance for convenience; components that need
 #: isolated caches construct their own.
 DEFAULT_COMPILER = KernelCompiler()
+
+register_cache_clearer(DEFAULT_COMPILER.clear)
 
 
 def compile_kernel(kernel: KernelIR, arch: GPUArchitecture) -> CompiledKernel:

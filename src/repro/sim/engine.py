@@ -10,6 +10,7 @@ machine deterministically.
 from __future__ import annotations
 
 import heapq
+from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
@@ -41,7 +42,10 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
-        self._eid = 0
+        # Tie-break counter for the heap; a bound ``count().__next__``
+        # avoids the load/store attribute churn of ``self._eid += 1`` on
+        # the hottest call of the simulation.
+        self._next_eid = count().__next__
         self._active_process: Optional[Process] = None
 
     def __repr__(self) -> str:
@@ -77,8 +81,9 @@ class Environment:
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Enqueue ``event`` to fire ``delay`` ms from now."""
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._next_eid(), event)
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

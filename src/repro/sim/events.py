@@ -42,7 +42,15 @@ class Event:
 
     An event starts *pending*, becomes *triggered* once scheduled with a
     value (or an exception), and *processed* once its callbacks have run.
+
+    Events are the highest-volume objects of a simulation (every copy,
+    kernel, timeout, and process resumption allocates at least one), so
+    the class and its subclasses in this module carry ``__slots__``.
+    Subclasses defined elsewhere may omit ``__slots__`` and regain a
+    ``__dict__`` as usual.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
         self.env = env
@@ -103,6 +111,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -120,6 +130,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that kicks off a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -135,6 +147,8 @@ class Process(Event):
     its value is the generator's return value.  This lets processes wait on
     other processes directly (``yield env.process(...)``).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator):  # noqa: F821
         if not hasattr(generator, "throw"):
@@ -232,6 +246,8 @@ class Process(Event):
 class Condition(Event):
     """Waits on several events; fires per the ``evaluate`` predicate."""
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",  # noqa: F821
@@ -288,12 +304,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every given event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):  # noqa: F821
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when any one of the given events has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):  # noqa: F821
         super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,152 @@
+"""Property tests: memo caches are invisible to simulation results.
+
+Satellite contract of the memoization layer: a cached
+:class:`ExecutionProfile` equals a freshly computed one for *any* launch
+geometry, and cache entries never leak across architectures (the same
+kernel compiled for Quadro 4000, Grid K520 and Tegra K1 must keep three
+distinct timings whether the caches are hot or cold).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.caching import cache_scope, caches_enabled, set_caches_enabled
+from repro.gpu.arch import GRID_K520, QUADRO_4000, TEGRA_K1
+from repro.gpu.timing import KernelTimingModel
+from repro.kernels.compiler import KernelCompiler
+from repro.kernels.launch import LaunchConfig
+from repro.workloads.linalg import make_vectoradd_kernel
+
+ARCHES = (QUADRO_4000, GRID_K520, TEGRA_K1)
+
+launches = st.builds(
+    LaunchConfig,
+    grid_size=st.integers(min_value=1, max_value=4096),
+    block_size=st.sampled_from((32, 64, 128, 192, 256, 512, 1024)),
+    elements=st.integers(min_value=0, max_value=1 << 24),
+)
+
+kernels = st.builds(
+    make_vectoradd_kernel,
+    elements_per_thread=st.integers(min_value=1, max_value=16),
+    fp32_per_element=st.integers(min_value=0, max_value=8000),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(kernel=kernels, launch=launches, arch=st.sampled_from(ARCHES))
+def test_cached_profile_equals_fresh_profile(kernel, launch, arch):
+    """Warm-cache profiles are field-for-field equal to cold computes."""
+    model = KernelTimingModel(arch)
+    compiled = KernelCompiler().compile(kernel, arch)
+    warm_first = model.execute(compiled, launch)
+    warm_again = model.execute(compiled, launch)
+    with cache_scope(False):
+        cold = model.execute(compiled, launch)
+    # The memo returns the identical object; the cold path recomputes
+    # every field to the same bits (ExecutionProfile equality is exact).
+    assert warm_again is warm_first
+    assert cold == warm_first
+    assert cold.time_ms == warm_first.time_ms
+    assert model.cache_hits >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel=kernels, launch=launches)
+def test_kernel_time_ms_warm_equals_cold(kernel, launch):
+    model = KernelTimingModel(QUADRO_4000)
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    warm = model.kernel_time_ms(compiled, launch)
+    with cache_scope(False):
+        cold = model.kernel_time_ms(compiled, launch)
+    assert warm == cold
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel=kernels, launch=launches)
+def test_no_cross_arch_leakage(kernel, launch):
+    """One kernel, three architectures, interleaved hot-cache queries:
+    every architecture keeps its own compile and timing results."""
+    compiler = KernelCompiler()
+    compiled = {arch.name: compiler.compile(kernel, arch) for arch in ARCHES}
+    models = {arch.name: KernelTimingModel(arch) for arch in ARCHES}
+
+    # Populate all three caches, interleaved.
+    warm = {
+        name: models[name].execute(compiled[name], launch)
+        for name in compiled
+    }
+    # Query again in a different order; then compare against cold runs.
+    for name in reversed(list(compiled)):
+        assert models[name].execute(compiled[name], launch) is warm[name]
+    with cache_scope(False):
+        for name in compiled:
+            cold = models[name].execute(compiled[name], launch)
+            assert cold == warm[name]
+            assert cold.arch_name == name
+
+    # The compiled artifacts themselves are arch-specific.
+    assert len({id(c) for c in compiled.values()}) == 3
+    for name, c in compiled.items():
+        assert c.arch.name == name
+        assert compiler.compile(kernel, c.arch) is c  # hit, right entry
+
+
+@settings(max_examples=20, deadline=None)
+@given(launch=launches)
+def test_same_geometry_different_kernels_do_not_collide(launch):
+    """Identity keying: two same-signature kernels with different bodies
+    must produce their own profiles even at the same launch geometry."""
+    light = make_vectoradd_kernel(elements_per_thread=1, fp32_per_element=0)
+    heavy = make_vectoradd_kernel(elements_per_thread=1, fp32_per_element=5000)
+    model = KernelTimingModel(QUADRO_4000)
+    compiler = KernelCompiler()
+    p_light = model.execute(compiler.compile(light, QUADRO_4000), launch)
+    p_heavy = model.execute(compiler.compile(heavy, QUADRO_4000), launch)
+    assert p_heavy.issue_cycles > p_light.issue_cycles
+    # And the memo still returns each kernel its own entry.
+    assert model.execute(compiler.compile(light, QUADRO_4000), launch) is p_light
+    assert model.execute(compiler.compile(heavy, QUADRO_4000), launch) is p_heavy
+
+
+def test_cache_scope_restores_state():
+    assert caches_enabled()
+    with cache_scope(False):
+        assert not caches_enabled()
+        with cache_scope(True):
+            assert caches_enabled()
+        assert not caches_enabled()
+    assert caches_enabled()
+
+
+def test_disabling_caches_clears_them():
+    model = KernelTimingModel(QUADRO_4000)
+    compiler = KernelCompiler()
+    kernel = make_vectoradd_kernel()
+    launch = LaunchConfig(grid_size=8, block_size=256, elements=2048)
+    model.execute(compiler.compile(kernel, QUADRO_4000), launch)
+    assert len(model._profile_cache) == 1
+    previous = set_caches_enabled(False)
+    try:
+        # Global disable dropped registered caches (the default compiler);
+        # per-model caches stop being consulted and can be cleared locally.
+        assert not caches_enabled()
+        model.clear_cache()
+        assert len(model._profile_cache) == 0
+    finally:
+        set_caches_enabled(previous)
+
+
+def test_profile_cache_lru_eviction():
+    model = KernelTimingModel(QUADRO_4000, profile_cache_size=2)
+    compiled = KernelCompiler().compile(make_vectoradd_kernel(), QUADRO_4000)
+    launches_ = [
+        LaunchConfig(grid_size=g, block_size=256, elements=g * 256)
+        for g in (1, 2, 3)
+    ]
+    for launch in launches_:
+        model.execute(compiled, launch)
+    assert len(model._profile_cache) == 2
+    # The oldest entry (grid=1) was evicted; re-executing is a miss.
+    misses = model.cache_misses
+    model.execute(compiled, launches_[0])
+    assert model.cache_misses == misses + 1
