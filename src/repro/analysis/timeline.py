@@ -5,15 +5,25 @@ lifetimes) from a finished :class:`~repro.core.framework.SigmaVP` run and
 renders them as an ASCII Gantt chart — the textual analog of the paper's
 Fig. 3/6 engine diagrams, handy for seeing interleaving and coalescing
 actually happen.
+
+The same chart can be rebuilt from a recorded trace buffer
+(:func:`timeline_from_trace`): the tracer's engine spans carry the
+role/device/VP identity the chart needs, so a live framework and a trace
+file on disk render through one code path — the tracer is the single
+source of truth for lane data once observability is on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.framework import SigmaVP
 from ..gpu.engines import TimelineEntry
+
+#: Engine roles in the paper's pipeline order (Fig. 3): the order lanes
+#: appear in charts, matching :func:`collect_timeline`.
+ENGINE_ROLES = ("h2d", "compute", "d2h")
 
 
 @dataclass(frozen=True)
@@ -89,6 +99,51 @@ def collect_timeline(framework: SigmaVP) -> Timeline:
     )
 
 
+def timeline_from_trace(source: Any) -> Timeline:
+    """Rebuild a :class:`Timeline` from a tracer or its payload dict.
+
+    Engine spans (category ``engine``) become lanes named exactly as
+    :func:`collect_timeline` names them — ``h2d`` / ``compute`` / ``d2h``,
+    prefixed ``gpu<i>/`` only when the trace covers more than one host
+    device — and per-VP lifetime spans (category ``vp``) become
+    ``vp_spans``, so a chart rendered from a trace file matches one
+    rendered from the live framework.
+    """
+    payload = source.to_payload() if hasattr(source, "to_payload") else source
+    by_device: Dict[int, Dict[str, List[TimelineEntry]]] = {}
+    vp_spans: Dict[str, tuple] = {}
+    horizon = 0.0
+    for span in payload.get("spans", ()):
+        horizon = max(horizon, span["end_ms"])
+        args = span.get("args") or {}
+        cat = span.get("cat")
+        if cat == "vp":
+            name = args.get("vp") or span["lane"].rpartition("/")[2]
+            vp_spans[name] = (span["start_ms"], span["end_ms"])
+            continue
+        if cat != "engine":
+            continue
+        role = args.get("role")
+        if role not in ENGINE_ROLES:
+            role = next((r for r in ENGINE_ROLES if r in span["lane"]), None)
+            if role is None:
+                continue
+        device = int(args.get("device", 0))
+        entries = by_device.setdefault(device, {r: [] for r in ENGINE_ROLES})
+        entries[role].append(
+            TimelineEntry(span["name"], span["start_ms"], span["end_ms"])
+        )
+    for instant in payload.get("instants", ()):
+        horizon = max(horizon, instant["ts_ms"])
+    lanes: List[Lane] = []
+    multi = len(by_device) > 1
+    for device in sorted(by_device):
+        prefix = f"gpu{device}/" if multi else ""
+        for role in ENGINE_ROLES:
+            lanes.append(Lane(f"{prefix}{role}", by_device[device][role]))
+    return Timeline(lanes=lanes, horizon_ms=horizon, vp_spans=vp_spans)
+
+
 def render_gantt(
     timeline: Timeline,
     width: int = 72,
@@ -97,15 +152,21 @@ def render_gantt(
     """ASCII Gantt: one row per engine, '#' where it was busy.
 
     Cells are marked busy if any span overlaps them; the rightmost
-    column ends at the simulation horizon.
+    column ends at the simulation horizon.  Returns ``(empty timeline)``
+    for *any* chart with nothing to draw — zero horizon, no lanes, or no
+    spans in the selected lanes — not just the zero-horizon case.
     """
-    if timeline.horizon_ms <= 0:
-        return "(empty timeline)"
     selected = (
         [timeline.lane(name) for name in lanes]
         if lanes is not None
         else timeline.lanes
     )
+    if (
+        timeline.horizon_ms <= 0
+        or not selected
+        or all(not lane.spans for lane in selected)
+    ):
+        return "(empty timeline)"
     label_width = max((len(lane.name) for lane in selected), default=4)
     scale = timeline.horizon_ms / width
     out = [

@@ -10,6 +10,9 @@ Commands:
 * ``estimate APP``               — target time/power estimates (Sec. 4)
 * ``validate [apps...]``         — cross-backend functional equivalence
 * ``report [-o FILE] [--quick]`` — the full paper-vs-measured record
+* ``trace APP [-o FILE]``        — record one scenario into a
+                                   Chrome/Perfetto trace (+ metrics)
+* ``metrics APP``                — run one scenario, print its metrics
 """
 
 from __future__ import annotations
@@ -108,8 +111,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm worker processes for the parallel mode")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset of the pinned suite")
-    bench.add_argument("-o", "--output", default="BENCH_PR1.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR2.json",
                        help="JSON report path (use '-' to skip writing)")
+    bench.add_argument("--trace", action="store_true",
+                       help="add a traced parallel mode and write one "
+                            "merged multi-worker trace")
+    bench.add_argument("--trace-out", default="bench_trace.json",
+                       help="merged Chrome/Perfetto trace path (--trace)")
+    bench.add_argument("--metrics-out", default="bench_metrics.json",
+                       help="merged metrics snapshot path (--trace)")
+    bench.add_argument("--no-overhead-guard", action="store_true",
+                       help="skip the disabled-mode overhead check "
+                            "against the committed baseline")
+
+    def scenario_options(parser_):
+        parser_.add_argument("app", help="workload name (see `repro list`)")
+        parser_.add_argument("--vps", type=_positive_int, default=8,
+                             help="number of virtual platforms")
+        parser_.add_argument("--gpus", type=_positive_int, default=1,
+                             help="host GPUs to multiplex")
+        parser_.add_argument("--no-interleaving", action="store_true")
+        parser_.add_argument("--no-coalescing", action="store_true")
+        parser_.add_argument("--transport", choices=("socket", "shm"),
+                             default="socket")
+        return parser_
+
+    trace = scenario_options(sub.add_parser(
+        "trace",
+        help="run one scenario with observability on; export a "
+             "Chrome/Perfetto trace (open at ui.perfetto.dev)",
+    ))
+    trace.add_argument("-o", "--output", default="trace.json",
+                       help="trace JSON path")
+    trace.add_argument("--metrics-out", default=None,
+                       help="also write the metrics snapshot here")
+    trace.add_argument("--gantt", action="store_true",
+                       help="print an ASCII gantt rebuilt from the trace")
+
+    metrics = scenario_options(sub.add_parser(
+        "metrics",
+        help="run one scenario with metrics on; print the registry",
+    ))
+    metrics.add_argument("-o", "--output", default=None,
+                         help="also write the snapshot JSON here")
 
     estimate = sub.add_parser("estimate", help="target time/power for one app")
     estimate.add_argument("app")
@@ -327,6 +371,74 @@ def _cmd_estimate(args: argparse.Namespace) -> None:
           f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
 
 
+def _scenario_job(args: argparse.Namespace):
+    """A FarmJob for one CLI-described scenario (shared by trace/metrics).
+
+    Routing through a :class:`FarmJob` gives the run the farm's
+    config-hash identity and deterministic seed for free, so exported
+    artifacts are stamped exactly like the equivalent farm job.
+    """
+    from .exec import FarmJob
+
+    return FarmJob(
+        fn="repro.exec.jobs:scenario_summary",
+        kwargs={
+            "app": args.app,
+            "n_vps": args.vps,
+            "interleaving": not args.no_interleaving,
+            "coalescing": not args.no_coalescing,
+            "transport": "shm" if args.transport == "shm" else "socket",
+            "n_host_gpus": args.gpus,
+        },
+        label=f"{args.app}:{args.vps}vps",
+    )
+
+
+def _captured_scenario(args: argparse.Namespace):
+    """Run one scenario with capture on; returns (job, FarmResult)."""
+    from .exec import ScenarioFarm
+
+    job = _scenario_job(args)
+    result = ScenarioFarm(workers=1, warmup=False, capture_obs=True).map([job])[0]
+    return job, result
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .analysis.timeline import render_gantt, timeline_from_trace
+    from .obs import run_stamp, span_counts_by_lane, write_metrics, write_trace
+
+    job, result = _captured_scenario(args)
+    stamp = run_stamp(job.fn, job.kwargs, seed=job.seed, label=job.label)
+    path = write_trace(Path(args.output), [(job.label, result.trace)], stamp)
+    value = result.value
+    print(f"{job.label}: total simulated time {value['total_ms']:.3f} ms "
+          f"(config {stamp['config_hash']}, seed {stamp['seed']})")
+    for lane, count in span_counts_by_lane(result.trace).items():
+        print(f"  {lane:<28} {count:5d} spans")
+    print(f"trace written to {path} (open at ui.perfetto.dev)")
+    if args.metrics_out:
+        mpath = write_metrics(Path(args.metrics_out), result.metrics, stamp)
+        print(f"metrics written to {mpath}")
+    if args.gantt:
+        print()
+        print(render_gantt(timeline_from_trace(result.trace)))
+
+
+def _cmd_metrics(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .obs import metrics_snapshot, render_metrics, run_stamp, write_metrics
+
+    job, result = _captured_scenario(args)
+    stamp = run_stamp(job.fn, job.kwargs, seed=job.seed, label=job.label)
+    print(render_metrics(metrics_snapshot(result.metrics, stamp)))
+    if args.output:
+        path = write_metrics(Path(args.output), result.metrics, stamp)
+        print(f"metrics written to {path}")
+
+
 DEFAULT_VALIDATION_APPS = ("vectorAdd", "BlackScholes", "mergeSort",
                            "physxParticles", "histogram")
 
@@ -386,10 +498,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             quick=args.quick,
             output=None if args.output == "-" else Path(args.output),
+            trace=args.trace,
+            overhead_guard=not args.no_overhead_guard,
         )
         print(render_report(report))
         if args.output != "-":
             print(f"report written to {args.output}")
+        if args.trace:
+            from .obs import run_stamp, write_metrics, write_trace
+
+            stamp = run_stamp(
+                "repro.exec.bench:run_bench",
+                {"suite": report["suite"], "workers": report["workers"]},
+                label=f"bench:{report['suite']}",
+            )
+            artifacts = report["artifacts"]
+            tpath = write_trace(
+                Path(args.trace_out), artifacts["trace_sources"], stamp
+            )
+            mpath = write_metrics(
+                Path(args.metrics_out), artifacts["metrics"]["totals"], stamp
+            )
+            print(f"merged trace written to {tpath} "
+                  f"({len(artifacts['trace_sources'])} jobs)")
+            print(f"merged metrics written to {mpath}")
+    elif args.command == "trace":
+        _cmd_trace(args)
+    elif args.command == "metrics":
+        _cmd_metrics(args)
     elif args.command == "estimate":
         _cmd_estimate(args)
     elif args.command == "report":

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..caching import caches_enabled
 from ..gpu.device import HostGPU
+from ..obs import metrics as _obs_metrics
+from ..obs import tracer as _obs_trace
 from ..sim import Environment
 from .handles import HandleTable
 from .jobs import Job, JobKind, JobQueue
@@ -230,6 +232,12 @@ class KernelCoalescer:
 
     def coalesce_pass(self, queue: JobQueue) -> List[Job]:
         """Merge every ready group in the queue; returns merged jobs."""
+        if _obs_metrics.REGISTRY is not None:
+            with _obs_metrics.timed("coalesce.pass"):
+                return self._coalesce_pass(queue)
+        return self._coalesce_pass(queue)
+
+    def _coalesce_pass(self, queue: JobQueue) -> List[Job]:
         merged_jobs: List[Job] = []
         for _key, triples in sorted(self.find_triples(queue).items()):
             ready, _deadline = self._group_state(triples)
@@ -251,6 +259,25 @@ class KernelCoalescer:
         self.stats.merges += 1
         self.stats.kernels_coalesced += len(batch)
         self.stats.batch_sizes.append(len(batch))
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            tracer.instant(
+                "coalescer", "merge", self.env.now, cat="sched",
+                args={
+                    "group": group,
+                    "batch": len(batch),
+                    "kernel": batch[0].kernel.kernel.name
+                    if batch[0].kernel.kernel is not None else None,
+                    "vps": ",".join(sorted(t.vp for t in batch)),
+                    "device": device,
+                },
+            )
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.counter("coalesce.live_merges").inc()
+            registry.histogram(
+                "coalesce.live_batch_size", _obs_metrics.DEPTH_BUCKETS
+            ).observe(len(batch))
 
         self._relayout_buffers(batch, owner=group)
 

@@ -32,6 +32,8 @@ import numpy as np
 from ..gpu.device import HostGPU
 from ..gpu.engines import Engine
 from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..obs import metrics as _obs_metrics
+from ..obs import tracer as _obs_trace
 from ..sim import Environment, Event
 from .coalescing import KernelCoalescer
 from .handles import HandleTable
@@ -164,6 +166,12 @@ class JobDispatcher:
             self.backlog.add(job, expected)
             self._inflight[job.vp] = job
             self.stats.dispatched[job.kind] += 1
+            registry = _obs_metrics.REGISTRY
+            if registry is not None:
+                registry.counter(f"dispatch.kind.{job.kind.name}").inc()
+                registry.histogram(
+                    "jobqueue.depth_at_dispatch", _obs_metrics.DEPTH_BUCKETS
+                ).observe(len(self.queue))
             execution = self.env.process(self._execute(job, expected))
             if self.mode is ServiceMode.SERIAL:
                 yield execution
@@ -191,6 +199,31 @@ class JobDispatcher:
                     continue
             candidates.append(job)
         choice = self.policy.select(candidates, self.backlog)
+        tracer = _obs_trace.TRACER
+        if tracer is not None and choice is not None:
+            # A pick is a *reorder* when the policy passed over an older
+            # job — the observable act of Kernel Interleaving.
+            fifo_head = min(job.job_id for job in candidates)
+            tracer.instant(
+                "dispatcher", "dispatch", self.env.now, cat="sched",
+                args={
+                    "job": choice.job_id,
+                    "vp": choice.vp,
+                    "seq": choice.seq,
+                    "kind": choice.kind.name,
+                    "policy": self.policy.name,
+                    "reordered": choice.job_id != fifo_head,
+                    "candidates": len(candidates),
+                },
+            )
+        registry = _obs_metrics.REGISTRY
+        if registry is not None and choice is not None:
+            registry.counter("dispatch.decisions").inc()
+            if choice.job_id != min(job.job_id for job in candidates):
+                registry.counter("dispatch.reorders").inc()
+            registry.histogram(
+                "dispatch.candidates", _obs_metrics.DEPTH_BUCKETS
+            ).observe(len(candidates))
         earliest = min(deadlines) if deadlines else None
         return choice, earliest
 
@@ -270,11 +303,33 @@ class JobDispatcher:
         self._complete(job)
 
     def _run_on_engine(self, engine: Engine, job: Job, duration_ms: float, apply):
+        metadata: dict = {"job_id": job.job_id}
+        if _obs_trace.TRACER is not None:
+            # Full identity only when a tracer will read it: the span
+            # must name its vp / stream / kernel / job, but the disabled
+            # path should not pay for packing the extra keys.
+            metadata.update(
+                vp=job.vp,
+                seq=job.seq,
+                kind=job.kind.name,
+                role=engine_role(job).partition("@")[0],
+                device=job.device,
+                stream=f"{job.vp}/stream0",
+            )
+            if job.kernel is not None:
+                metadata["kernel"] = job.kernel.name
+            if job.is_copy:
+                metadata["nbytes"] = job.nbytes
+            if job.members:
+                metadata["members"] = len(job.members)
+                metadata["member_vps"] = ",".join(
+                    sorted({m.vp for m in job.members})
+                )
         op = engine.submit(
             label=f"{job.kind.name}:{job.vp}#{job.seq}",
             duration_ms=duration_ms,
             on_complete=apply,
-            job_id=job.job_id,
+            **metadata,
         )
         return op.done
 

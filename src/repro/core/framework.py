@@ -198,9 +198,23 @@ class SigmaVP:
         return self.run_until(processes)
 
     def run_until(self, processes: List[Process]) -> float:
-        """Advance the simulation until every process finishes."""
+        """Advance the simulation until every process finishes.
+
+        When observability is active (``repro trace``, ``repro bench
+        --trace``, or any :func:`repro.obs.capture` window), the run is
+        self-profiled in host wall-clock and the finished framework's
+        state — engine utilizations, per-VP lifetimes, cache hit rates,
+        coalescing totals — is collected into the active registry.
+        """
+        from ..obs import metrics as _obs_metrics  # local: cheap either way
+
         start = self.env.now
-        self.env.run(self.env.all_of(processes))
+        if _obs_metrics.REGISTRY is None:
+            self.env.run(self.env.all_of(processes))
+        else:
+            with _obs_metrics.timed("framework.run"):
+                self.env.run(self.env.all_of(processes))
+            _obs_metrics.collect_framework(self)
         return self.env.now - start
 
     @property

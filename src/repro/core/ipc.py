@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
+from ..obs import metrics as _obs_metrics
+from ..obs import tracer as _obs_trace
 from ..sim import Environment
 from .jobs import Job, JobQueue
 
@@ -98,12 +100,29 @@ class VPControl:
         if not self._stopped[name]:
             vp.stop()
             self._stopped[name] = True
+            self._mark("vp.stop", vp)
 
     def resume(self, name: str) -> None:
         vp = self._require(name)
         if self._stopped[name]:
             vp.resume()
             self._stopped[name] = False
+            self._mark("vp.resume", vp)
+
+    @staticmethod
+    def _mark(event: str, vp: Stoppable) -> None:
+        """Record a stop/resume decision with the VP's own clock."""
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            env = getattr(vp, "env", None)
+            tracer.instant(
+                "vp-control", event,
+                env.now if env is not None else 0.0,
+                cat="sched", args={"vp": vp.name},
+            )
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.counter(f"vpcontrol.{event.rpartition('.')[2]}s").inc()
 
     def resume_all(self) -> None:
         for name in self._vps:
@@ -147,12 +166,31 @@ class IPCManager:
         delay = self.transport.transfer_ms(payload_bytes)
         self.messages_sent += 1
         self.bytes_transferred += payload_bytes
+        started = self.env.now
         yield self.env.timeout(delay)
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            tracer.span(
+                f"ipc/{self.transport.name}", "submit",
+                started, self.env.now, cat="ipc",
+                args={
+                    "vp": job.vp, "job": job.job_id,
+                    "kind": job.kind.name, "bytes": payload_bytes,
+                },
+            )
         self.queue.put(job)
 
-    def respond(self, payload_bytes: int = 0):
+    def respond(self, payload_bytes: int = 0, vp: Optional[str] = None):
         """Generator: the host->guest completion notification."""
         delay = self.transport.transfer_ms(payload_bytes)
         self.messages_sent += 1
         self.bytes_transferred += payload_bytes
+        started = self.env.now
         yield self.env.timeout(delay)
+        tracer = _obs_trace.TRACER
+        if tracer is not None:
+            tracer.span(
+                f"ipc/{self.transport.name}", "respond",
+                started, self.env.now, cat="ipc",
+                args={"vp": vp, "bytes": payload_bytes},
+            )

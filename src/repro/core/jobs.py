@@ -21,6 +21,7 @@ import numpy as np
 from ..caching import caches_enabled
 from ..kernels.ir import KernelIR
 from ..kernels.launch import LaunchConfig
+from ..obs import metrics as _obs_metrics
 from ..sim import Environment, Event
 
 
@@ -172,6 +173,11 @@ class JobQueue:
         self._jobs.append(job)
         self.total_enqueued += 1
         self.version += 1
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.histogram(
+                "jobqueue.depth", _obs_metrics.DEPTH_BUCKETS
+            ).observe(len(self._jobs))
         waiters, self._arrival_waiters = self._arrival_waiters, []
         for waiter in waiters:
             waiter.succeed(job)

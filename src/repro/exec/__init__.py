@@ -20,24 +20,34 @@ from ..caching import (
     register_cache_clearer,
     set_caches_enabled,
 )
-from .bench import BenchDigestError, render_report, run_bench
+from .bench import (
+    BenchDigestError,
+    BenchOverheadError,
+    render_report,
+    run_bench,
+)
 from .farm import (
     FarmJob,
     FarmResult,
     ScenarioFarm,
     canonical_json,
+    config_key,
     results_digest,
+    seed_for,
 )
 
 __all__ = [
     "BenchDigestError",
+    "BenchOverheadError",
     "render_report",
     "run_bench",
     "FarmJob",
     "FarmResult",
     "ScenarioFarm",
     "canonical_json",
+    "config_key",
     "results_digest",
+    "seed_for",
     "cache_scope",
     "caches_enabled",
     "clear_all_caches",

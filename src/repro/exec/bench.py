@@ -15,6 +15,20 @@ caches and the farm are pure plumbing; simulated time must not move),
 and appends the wall-clock numbers to a ``BENCH_*.json`` file so the
 performance trajectory of the stack is tracked in-repo alongside the
 correctness suite.
+
+Two observability additions ride on the same harness:
+
+* ``trace=True`` adds a fourth mode — parallel-warm with per-job
+  capture on — whose digest must *still* be bit-identical (tracing must
+  never perturb simulation), and whose merged multi-worker trace and
+  metrics come back under ``report["artifacts"]``;
+* an **overhead guard**: the tracing-*disabled* hot paths carry the
+  instrumentation's ``is not None`` guards, so the serial-warm wall
+  time is compared against the committed baseline
+  (``BENCH_PR1.json``) and the bench fails if it regressed by more
+  than :data:`DEFAULT_OVERHEAD_LIMIT` (suite and worker-count must
+  match for the comparison to be meaningful; otherwise it is skipped
+  with a note).
 """
 
 from __future__ import annotations
@@ -25,6 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..caching import cache_scope, clear_all_caches
+from ..obs import farm_merged_metrics, farm_trace_sources, to_chrome_trace
 from .farm import FarmJob, FarmResult, ScenarioFarm, results_digest
 
 #: The pinned regression suite.  Iteration-heavy, many-VP, small-data
@@ -75,6 +90,82 @@ class BenchDigestError(AssertionError):
     """Two bench modes simulated different results."""
 
 
+class BenchOverheadError(AssertionError):
+    """Disabled-mode instrumentation overhead exceeded the allowed limit."""
+
+
+#: Maximum allowed slowdown of the tracing-disabled serial-warm mode
+#: versus the committed baseline (fraction; 0.02 = 2%).
+DEFAULT_OVERHEAD_LIMIT = 0.02
+
+#: The committed wall-clock baseline the overhead guard compares against.
+BASELINE_PATH = Path("BENCH_PR1.json")
+
+
+def check_overhead(
+    report: Dict[str, Any],
+    baseline_path: Path = BASELINE_PATH,
+    limit: float = DEFAULT_OVERHEAD_LIMIT,
+) -> Dict[str, Any]:
+    """Compare this run's serial-warm wall time to the baseline file.
+
+    The serial-warm mode runs with tracing *disabled*, so its wall time
+    directly measures what the instrumentation guards cost everyone who
+    never turns tracing on.  Returns a JSON-able section describing the
+    check; raises :class:`BenchOverheadError` when the overhead exceeds
+    ``limit``.  The comparison is skipped (with a ``note``) when the
+    baseline is missing or was recorded for a different suite or worker
+    count — wall times are only comparable like-for-like.
+    """
+    section: Dict[str, Any] = {
+        "baseline": str(baseline_path),
+        "limit": limit,
+        "checked": False,
+    }
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as exc:
+        section["note"] = f"baseline unavailable ({exc.__class__.__name__})"
+        return section
+    if baseline.get("suite") != report["suite"]:
+        section["note"] = (
+            f"suite mismatch: baseline={baseline.get('suite')!r} "
+            f"run={report['suite']!r}; comparison skipped"
+        )
+        return section
+    if baseline.get("workers") != report["workers"]:
+        section["note"] = (
+            f"worker-count mismatch: baseline={baseline.get('workers')} "
+            f"run={report['workers']}; comparison skipped"
+        )
+        return section
+    base_mode = baseline["modes"]["serial_warm"]
+    run_mode = report["modes"]["serial_warm"]
+    # CPU time is immune to scheduler steal on shared hosts, so prefer
+    # it whenever both sides recorded it; older baselines only carry
+    # wall-clock and fall back to the noisier comparison.
+    if "cpu_s" in base_mode and "cpu_s" in run_mode:
+        metric, base_warm, run_warm = "cpu", base_mode["cpu_s"], run_mode["cpu_s"]
+    else:
+        metric, base_warm, run_warm = "wall", base_mode["wall_s"], run_mode["wall_s"]
+    overhead = run_warm / base_warm - 1.0
+    section.update(
+        checked=True,
+        metric=metric,
+        baseline_s=base_warm,
+        run_s=run_warm,
+        overhead=overhead,
+    )
+    if overhead > limit:
+        raise BenchOverheadError(
+            f"tracing-disabled serial-warm {metric} time regressed "
+            f"{overhead * 100.0:.1f}% vs {baseline_path} "
+            f"(limit {limit * 100.0:.1f}%): "
+            f"{base_warm:.2f}s -> {run_warm:.2f}s"
+        )
+    return section
+
+
 def _run_mode(
     farm: ScenarioFarm, jobs: Sequence[FarmJob], rounds: int = 1
 ) -> Dict[str, Any]:
@@ -82,13 +173,19 @@ def _run_mode(
 
     Scheduler steal and frequency scaling only ever *inflate* wall time,
     so the minimum over rounds is the robust estimator of the true cost.
-    Every round must simulate the same digest or the mode fails.
+    CPU time (``cpu_s``) is tracked alongside — its own minimum over
+    rounds — because it ignores steal entirely and so survives shared
+    hosts that wall-clock cannot.  Every round must simulate the same
+    digest or the mode fails.
     """
     best: Optional[Dict[str, Any]] = None
+    best_cpu = float("inf")
     for _ in range(max(1, rounds)):
+        cpu_started = time.process_time()
         started = time.perf_counter()
         results = farm.map(jobs)
         wall = time.perf_counter() - started
+        best_cpu = min(best_cpu, time.process_time() - cpu_started)
         run = {
             "wall_s": wall,
             "digest": results_digest(results),
@@ -103,6 +200,7 @@ def _run_mode(
         if best is None or run["wall_s"] < best["wall_s"]:
             best = run
     assert best is not None
+    best["cpu_s"] = best_cpu
     best["rounds"] = max(1, rounds)
     return best
 
@@ -110,34 +208,56 @@ def _run_mode(
 def run_bench(
     workers: int = 4,
     quick: bool = False,
-    output: Optional[Path] = Path("BENCH_PR1.json"),
+    output: Optional[Path] = Path("BENCH_PR2.json"),
     jobs: Optional[Sequence[FarmJob]] = None,
+    trace: bool = False,
+    overhead_guard: bool = True,
+    baseline: Path = BASELINE_PATH,
+    overhead_limit: float = DEFAULT_OVERHEAD_LIMIT,
 ) -> Dict[str, Any]:
     """Run the pinned suite serial-cold, serial-warm, and parallel-warm.
 
     Returns the report dict (also written to ``output`` as JSON) and
     raises :class:`BenchDigestError` if any mode's results differ.
+
+    ``trace=True`` adds a **parallel-traced** mode (same farm, per-job
+    observability capture on) whose digest must match the untraced
+    modes; its merged trace sources and metrics land under the
+    (non-serialized) ``report["artifacts"]`` key and its relative cost
+    under ``report["tracing_overhead"]``.  ``overhead_guard`` compares
+    the tracing-*disabled* serial-warm wall time against ``baseline``
+    and raises :class:`BenchOverheadError` past ``overhead_limit``.
     """
     suite = list(jobs) if jobs is not None else (QUICK_SUITE if quick else FULL_SUITE)
 
     # Cold runs once (it is the long mode and only noise-inflated, which
     # if anything under-reports the speedups); warm modes are cheap, so
-    # they take the best of two rounds to shrug off steal-time spikes.
+    # they take the best of three rounds to shrug off steal-time spikes.
     clear_all_caches()
     with cache_scope(False):
         cold = _run_mode(ScenarioFarm(workers=1, warmup=False), suite)
 
     clear_all_caches()
-    warm = _run_mode(ScenarioFarm(workers=1, warmup=True), suite, rounds=2)
+    warm = _run_mode(ScenarioFarm(workers=1, warmup=True), suite, rounds=3)
 
     clear_all_caches()
-    parallel = _run_mode(ScenarioFarm(workers=workers), suite, rounds=2)
+    parallel = _run_mode(ScenarioFarm(workers=workers), suite, rounds=3)
 
-    digests = {
-        "serial_cold": cold["digest"],
-        "serial_warm": warm["digest"],
-        "parallel_warm": parallel["digest"],
-    }
+    modes = [
+        ("serial_cold", cold),
+        ("serial_warm", warm),
+        ("parallel_warm", parallel),
+    ]
+
+    traced: Optional[Dict[str, Any]] = None
+    if trace:
+        clear_all_caches()
+        traced = _run_mode(
+            ScenarioFarm(workers=workers, capture_obs=True), suite
+        )
+        modes.append(("parallel_traced", traced))
+
+    digests = {name: mode["digest"] for name, mode in modes}
     if len(set(digests.values())) != 1:
         raise BenchDigestError(
             "bench modes disagree on simulation results: "
@@ -155,11 +275,7 @@ def run_bench(
         ],
         "modes": {
             name: {k: v for k, v in mode.items() if k != "results"}
-            for name, mode in (
-                ("serial_cold", cold),
-                ("serial_warm", warm),
-                ("parallel_warm", parallel),
-            )
+            for name, mode in modes
         },
         "speedups": {
             # serial-cold is the seed-equivalent baseline in both ratios.
@@ -171,8 +287,26 @@ def run_bench(
         "digest": cold["digest"],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    if traced is not None:
+        # Within-run cost of turning tracing on (same farm shape).
+        report["tracing_overhead"] = {
+            "traced_wall_s": traced["wall_s"],
+            "untraced_wall_s": parallel["wall_s"],
+            "ratio": traced["wall_s"] / parallel["wall_s"],
+        }
+    if overhead_guard:
+        report["overhead_guard"] = check_overhead(
+            report, baseline_path=baseline, limit=overhead_limit
+        )
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    if traced is not None:
+        # Attached after serialization on purpose: trace buffers are
+        # large and belong in their own artifact files, not the report.
+        report["artifacts"] = {
+            "trace_sources": farm_trace_sources(traced["results"]),
+            "metrics": farm_merged_metrics(traced["results"]),
+        }
     return report
 
 
@@ -195,4 +329,22 @@ def render_report(report: Dict[str, Any]) -> str:
         f"speedup parallel+caches vs seed-equivalent serial: "
         f"{speed['parallel']:.2f}x"
     )
+    tracing = report.get("tracing_overhead")
+    if tracing:
+        lines.append(
+            f"tracing-on vs tracing-off (parallel): "
+            f"{tracing['ratio']:.2f}x "
+            f"({tracing['untraced_wall_s']:.2f}s -> {tracing['traced_wall_s']:.2f}s)"
+        )
+    guard = report.get("overhead_guard")
+    if guard:
+        if guard.get("checked"):
+            lines.append(
+                f"disabled-mode overhead ({guard.get('metric', 'wall')}) "
+                f"vs {guard['baseline']}: "
+                f"{guard['overhead'] * 100.0:+.1f}% "
+                f"(limit {guard['limit'] * 100.0:.1f}%)"
+            )
+        else:
+            lines.append(f"overhead guard: {guard.get('note', 'skipped')}")
     return "\n".join(lines)

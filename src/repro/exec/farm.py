@@ -30,7 +30,6 @@ from __future__ import annotations
 import hashlib
 import importlib
 import inspect
-import json
 import multiprocessing
 import os
 import time
@@ -38,10 +37,24 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+# The config-hash / seed algorithm lives in repro.obs.export so exported
+# trace and metrics stamps are byte-identical to farm job identities
+# (one source of truth); re-exported here for backward compatibility.
+from ..obs import capture as _obs_capture
+from ..obs import metrics as _obs_metrics
+from ..obs.export import canonical_json, config_key, seed_for
 
-def canonical_json(value: Any) -> str:
-    """Deterministic JSON: sorted keys, no whitespace, repr-exact floats."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+__all__ = [
+    "canonical_json",
+    "config_key",
+    "seed_for",
+    "FarmJob",
+    "FarmResult",
+    "run_job",
+    "warm_worker",
+    "results_digest",
+    "ScenarioFarm",
+]
 
 
 @dataclass(frozen=True)
@@ -66,18 +79,24 @@ class FarmJob:
     @property
     def key(self) -> str:
         """Config-hash identity: stable across processes and sessions."""
-        payload = f"{self.fn}|{canonical_json(self.kwargs)}"
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return config_key(self.fn, self.kwargs)
 
     @property
     def seed(self) -> int:
         """Deterministic per-job seed derived from the config hash."""
-        return int(self.key[:8], 16) % (2**31 - 1)
+        return seed_for(self.key)
 
 
 @dataclass(frozen=True)
 class FarmResult:
-    """Outcome of one farm job."""
+    """Outcome of one farm job.
+
+    ``trace`` and ``metrics`` are populated only when the farm ran with
+    observability capture on (``capture_obs=True``): the worker's trace
+    buffer payload and metrics snapshot, serialized through the normal
+    result channel.  They are excluded from :func:`results_digest`, so
+    capturing never perturbs digest equality.
+    """
 
     job_key: str
     fn: str
@@ -85,10 +104,23 @@ class FarmResult:
     value: Any
     duration_s: float
     worker_pid: int
+    trace: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
 
 #: Per-process memo of resolved job functions and their seed-awareness.
 _fn_cache: Dict[str, tuple] = {}
+
+#: Per-process flag: when ``True`` each :func:`run_job` runs inside a
+#: fresh observability capture and ships the buffers back on the result.
+#: Set by the pool initializer in workers, or directly in serial mode.
+_CAPTURE_OBS = False
+
+
+def set_capture(on: bool) -> None:
+    """Turn per-job observability capture on/off in *this* process."""
+    global _CAPTURE_OBS
+    _CAPTURE_OBS = bool(on)
 
 
 def _resolve(fn_ref: str) -> tuple:
@@ -103,13 +135,29 @@ def _resolve(fn_ref: str) -> tuple:
 
 
 def run_job(job: FarmJob) -> FarmResult:
-    """Execute one job in the current process (worker or serial mode)."""
+    """Execute one job in the current process (worker or serial mode).
+
+    With capture on (:func:`set_capture`), the job runs inside its own
+    observability window — a fresh tracer and metrics registry scoped to
+    exactly this job — and the result carries their payloads.  Each
+    worker's span ids start at zero; the parent re-bases them when
+    merging (:func:`repro.obs.aggregate.rebase_payloads`).
+    """
     fn, takes_seed = _resolve(job.fn)
     kwargs = dict(job.kwargs)
     if takes_seed and "seed" not in kwargs:
         kwargs["seed"] = job.seed
+    trace_payload: Optional[Dict[str, Any]] = None
+    metrics_payload: Optional[Dict[str, Any]] = None
     started = time.perf_counter()
-    value = fn(**kwargs)
+    if _CAPTURE_OBS:
+        with _obs_capture() as window:
+            with _obs_metrics.timed("farm.run_job"):
+                value = fn(**kwargs)
+        trace_payload = window.trace_payload()
+        metrics_payload = window.metrics_payload()
+    else:
+        value = fn(**kwargs)
     return FarmResult(
         job_key=job.key,
         fn=job.fn,
@@ -117,15 +165,19 @@ def run_job(job: FarmJob) -> FarmResult:
         value=value,
         duration_s=time.perf_counter() - started,
         worker_pid=os.getpid(),
+        trace=trace_payload,
+        metrics=metrics_payload,
     )
 
 
-def warm_worker() -> None:
+def warm_worker(capture_obs: bool = False) -> None:
     """Pool initializer: pre-compile the workload catalog's kernels.
 
     Populates the worker's shared default compiler for the standard
     architectures so the first job dispatched to a fresh worker starts
-    from the same warm-compile state as every later one.
+    from the same warm-compile state as every later one.  Also arms
+    per-job observability capture when the farm asked for it (warming
+    runs *before* arming, so warm-up compiles never pollute job metrics).
     """
     from ..gpu.arch import GRID_K520, QUADRO_4000, TEGRA_K1
     from ..kernels.compiler import compile_kernel
@@ -134,6 +186,13 @@ def warm_worker() -> None:
     for spec in SUITE.values():
         for arch in (QUADRO_4000, GRID_K520, TEGRA_K1):
             compile_kernel(spec.kernel, arch)
+    if capture_obs:
+        set_capture(True)
+
+
+def _capture_worker() -> None:
+    """Pool initializer for ``capture_obs`` farms without warm-up."""
+    set_capture(True)
 
 
 def results_digest(results: Sequence[FarmResult]) -> str:
@@ -157,6 +216,7 @@ class ScenarioFarm:
         workers: Optional[int] = None,
         warmup: bool = True,
         chunk_size: Optional[int] = None,
+        capture_obs: bool = False,
     ):
         requested = os.cpu_count() or 1 if workers is None else workers
         if requested < 1:
@@ -165,6 +225,7 @@ class ScenarioFarm:
         self.workers = requested if (requested == 1 or self._can_fork()) else 1
         self.warmup = warmup
         self.chunk_size = chunk_size
+        self.capture_obs = capture_obs
 
     @staticmethod
     def _can_fork() -> bool:
@@ -181,16 +242,32 @@ class ScenarioFarm:
         if self.workers == 1 or len(jobs) == 1:
             if self.warmup:
                 warm_worker()
-            return [run_job(job) for job in jobs]
+            if not self.capture_obs:
+                return [run_job(job) for job in jobs]
+            # Serial capture goes through the identical flag + run_job
+            # path as workers do, restoring the caller's state after.
+            previous = _CAPTURE_OBS
+            set_capture(True)
+            try:
+                return [run_job(job) for job in jobs]
+            finally:
+                set_capture(previous)
         # Chunked submission: a few chunks per worker balances scheduling
         # freedom (uneven job durations) against per-submission IPC.
         chunk = self.chunk_size or max(1, len(jobs) // (self.workers * 4))
         context = multiprocessing.get_context("fork")
-        initializer = warm_worker if self.warmup else None
+        if self.warmup:
+            initializer: Optional[Callable] = warm_worker
+            initargs: tuple = (self.capture_obs,)
+        elif self.capture_obs:
+            initializer, initargs = _capture_worker, ()
+        else:
+            initializer, initargs = None, ()
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(jobs)),
             mp_context=context,
             initializer=initializer,
+            initargs=initargs,
         ) as pool:
             return list(pool.map(run_job, jobs, chunksize=chunk))
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..obs import metrics as _obs_metrics
+from ..obs import tracer as _obs_trace
 from ..sim import Environment, Event, Store
 
 
@@ -96,6 +98,15 @@ class Engine:
             end = self.env.now
             self.timeline.append(TimelineEntry(op.label, start, end))
             self.busy_ms += end - start
+            tracer = _obs_trace.TRACER
+            if tracer is not None:
+                tracer.span(
+                    self.name, op.label, start, end,
+                    cat="engine", args=op.metadata,
+                )
+            registry = _obs_metrics.REGISTRY
+            if registry is not None:
+                registry.histogram("engine.op_ms").observe(end - start)
             if op.on_complete is not None:
                 op.on_complete()
             op.done.succeed(op)

@@ -37,6 +37,7 @@ from typing import Dict, Tuple
 
 from ..caching import caches_enabled
 from ..kernels.compiler import CompiledKernel
+from ..obs import metrics as _obs_metrics
 from ..kernels.ir import ALL_TYPES, InstructionType, MEMORY_TYPES
 from ..kernels.launch import LaunchConfig
 from . import cache as cache_model
@@ -200,13 +201,18 @@ class KernelTimingModel:
                 f"on {self.arch.name!r}"
             )
         key = (id(compiled), launch)
+        registry = _obs_metrics.REGISTRY
         if caches_enabled():
             entry = self._profile_cache.get(key)
             if entry is not None and entry[0] is compiled:
                 self.cache_hits += 1
+                if registry is not None:
+                    registry.counter("cache.profile.hits").inc()
                 self._profile_cache.move_to_end(key)
                 return entry[1]
         self.cache_misses += 1
+        if registry is not None:
+            registry.counter("cache.profile.misses").inc()
         profile = self._compute_profile(compiled, launch)
         if caches_enabled():
             self._profile_cache[key] = (compiled, profile)

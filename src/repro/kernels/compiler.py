@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Mapping, Tuple
 
 from ..caching import caches_enabled, register_cache_clearer
+from ..obs import metrics as _obs_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..gpu.arch import GPUArchitecture
@@ -112,13 +113,18 @@ class KernelCompiler:
 
     def compile(self, kernel: KernelIR, arch: GPUArchitecture) -> CompiledKernel:
         key = (id(kernel), arch.name)
+        registry = _obs_metrics.REGISTRY
         if caches_enabled():
             cached = self._cache.get(key)
             if cached is not None and cached.ir is kernel:
                 self.hits += 1
+                if registry is not None:
+                    registry.counter("cache.compile.hits").inc()
                 self._cache.move_to_end(key)
                 return cached
         self.misses += 1
+        if registry is not None:
+            registry.counter("cache.compile.misses").inc()
         blocks = tuple(
             CompiledBlock(source=block, mix=block.mix.expanded(arch.compile_expansion))
             for block in kernel.blocks

@@ -1,0 +1,174 @@
+"""The span/event tracer: what happened, where, and when.
+
+The simulator's headline behaviours — copy/compute overlap from Kernel
+Interleaving, launch merging from Kernel Coalescing, VP stop/resume —
+are *timeline* claims, so the tracer records exactly two shapes:
+
+* **spans** — a named interval on a *lane* (an engine, an IPC channel, a
+  VP lifetime) with explicit start/end timestamps in simulated
+  milliseconds and an identity ``args`` mapping (vp / job / kernel /
+  seq / device);
+* **instants** — zero-duration marks for decisions: a dispatcher pick
+  (with its reorder flag), a coalescer merge, a VP stop/resume.
+
+Design constraint: **near-zero cost when disabled.**  The module-level
+:data:`TRACER` is ``None`` whenever tracing is off, and every hot path
+guards its instrumentation with a single ``if tracer_mod.TRACER is not
+None`` attribute check — no function call, no allocation, no argument
+packing happens on the disabled path.  Tests pin this down by asserting
+that a disabled-mode simulation performs zero allocations from this
+module and that simulation digests are bit-identical with tracing on
+and off (recording never feeds back into scheduling).
+
+Timestamps are always passed explicitly by the instrumented component
+from its own ``env.now`` — the tracer holds no clock, so one tracer can
+collect from any number of simulation environments (a farm job may run
+several back to back).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, List, Optional, Tuple
+
+#: The active tracer, or ``None`` when tracing is disabled.  Hot paths
+#: read this module attribute directly; everything else goes through
+#: :func:`enable` / :func:`disable`.
+TRACER: Optional["Tracer"] = None
+
+#: Span tuple layout: (id, lane, cat, name, start_ms, end_ms, args).
+SPAN_FIELDS = ("id", "lane", "cat", "name", "start_ms", "end_ms", "args")
+
+#: Instant tuple layout: (id, lane, cat, name, ts_ms, args).
+INSTANT_FIELDS = ("id", "lane", "cat", "name", "ts_ms", "args")
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean_args(args: Optional[dict]) -> Optional[dict]:
+    """JSON-safe copy of a record's args (recording accepts any values —
+    e.g. an engine op's ``profile`` object — but payloads must pickle to
+    the farm parent and dump to disk, so richer values become reprs)."""
+    if args is None:
+        return None
+    return {
+        key: value if isinstance(value, _JSON_SCALARS) else repr(value)
+        for key, value in args.items()
+    }
+
+
+class Tracer:
+    """An append-only buffer of spans and instant events.
+
+    Records are plain tuples (see :data:`SPAN_FIELDS` /
+    :data:`INSTANT_FIELDS`): the tracer sits on the simulation's hottest
+    paths when enabled, so it avoids per-record object overhead.  Ids
+    are monotonic *within one tracer*; the farm aggregation layer
+    re-bases them when merging buffers from several workers.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Tuple[int, str, str, str, float, float, Optional[dict]]] = []
+        self.instants: List[Tuple[int, str, str, str, float, Optional[dict]]] = []
+        self._next_id = count().__next__
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self.spans)} instants={len(self.instants)}>"
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    # -- recording ---------------------------------------------------------
+
+    def span(
+        self,
+        lane: str,
+        name: str,
+        start_ms: float,
+        end_ms: float,
+        cat: str = "engine",
+        args: Optional[dict] = None,
+    ) -> int:
+        """Record one completed interval on ``lane``; returns its id."""
+        span_id = self._next_id()
+        self.spans.append((span_id, lane, cat, name, start_ms, end_ms, args))
+        return span_id
+
+    def instant(
+        self,
+        lane: str,
+        name: str,
+        ts_ms: float,
+        cat: str = "sched",
+        args: Optional[dict] = None,
+    ) -> int:
+        """Record one zero-duration decision mark; returns its id."""
+        event_id = self._next_id()
+        self.instants.append((event_id, lane, cat, name, ts_ms, args))
+        return event_id
+
+    # -- introspection ------------------------------------------------------
+
+    def lanes(self) -> List[str]:
+        """Sorted names of every lane that received at least one record."""
+        names = {record[1] for record in self.spans}
+        names.update(record[1] for record in self.instants)
+        return sorted(names)
+
+    def spans_on(self, lane: str) -> List[tuple]:
+        return [record for record in self.spans if record[1] == lane]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._next_id = count().__next__
+
+    # -- serialization (the farm's worker->parent wire format) -------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-able dict of every record (crosses the fork boundary)."""
+        return {
+            "schema": "repro.obs.trace/1",
+            "spans": [
+                {**dict(zip(SPAN_FIELDS, record)), "args": _clean_args(record[6])}
+                for record in self.spans
+            ],
+            "instants": [
+                {**dict(zip(INSTANT_FIELDS, record)), "args": _clean_args(record[5])}
+                for record in self.instants
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_payload` output."""
+        tracer = cls()
+        for span in payload.get("spans", ()):
+            tracer.spans.append(tuple(span[field] for field in SPAN_FIELDS))
+        for instant in payload.get("instants", ()):
+            tracer.instants.append(
+                tuple(instant[field] for field in INSTANT_FIELDS)
+            )
+        used = [record[0] for record in tracer.spans]
+        used += [record[0] for record in tracer.instants]
+        tracer._next_id = count(max(used, default=-1) + 1).__next__
+        return tracer
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently collecting."""
+    return TRACER is not None
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer."""
+    global TRACER
+    TRACER = tracer if tracer is not None else Tracer()
+    return TRACER
+
+
+def disable() -> Optional[Tracer]:
+    """Stop tracing; returns the tracer that was active (if any)."""
+    global TRACER
+    previous, TRACER = TRACER, None
+    return previous

@@ -13,6 +13,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
+from ..obs import metrics as _obs_metrics
 from .events import (
     NORMAL,
     AllOf,
@@ -103,6 +104,12 @@ class Environment:
                 f"event scheduled in the past: {when} < {self._now}"
             )
         self._now = when
+
+        # Event-loop observability: one module-attribute check when the
+        # registry is disabled (the loop is the simulation's hottest path).
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.counter("sim.events_processed").inc()
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

@@ -157,3 +157,74 @@ class TestFarmDeterminism:
             # round-trips through strict JSON (no NaN/inf/objects)
             text = canonical_json(result.value)
             assert json.loads(text) == json.loads(text)
+
+
+class TestOverheadGuard:
+    """`check_overhead` compares serial-warm cost against a baseline file."""
+
+    @staticmethod
+    def _report(wall=5.0, cpu=None, suite="full", workers=4):
+        mode = {"wall_s": wall}
+        if cpu is not None:
+            mode["cpu_s"] = cpu
+        return {"suite": suite, "workers": workers,
+                "modes": {"serial_warm": mode}}
+
+    def _baseline(self, tmp_path, **kwargs):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(self._report(**kwargs)))
+        return path
+
+    def test_within_limit_passes(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        base = self._baseline(tmp_path, wall=5.0)
+        section = check_overhead(self._report(wall=5.05), baseline_path=base)
+        assert section["checked"] and section["metric"] == "wall"
+        assert section["overhead"] == pytest.approx(0.01)
+
+    def test_regression_raises(self, tmp_path):
+        from repro.exec.bench import BenchOverheadError, check_overhead
+        base = self._baseline(tmp_path, wall=5.0)
+        with pytest.raises(BenchOverheadError, match="wall time regressed"):
+            check_overhead(self._report(wall=6.0), baseline_path=base)
+
+    def test_prefers_cpu_time_when_both_sides_have_it(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        # Wall regressed 40% (steal noise) but CPU time is flat: the
+        # steal-immune metric must win, so the guard passes.
+        base = self._baseline(tmp_path, wall=5.0, cpu=4.0)
+        section = check_overhead(
+            self._report(wall=7.0, cpu=4.02), baseline_path=base
+        )
+        assert section["checked"] and section["metric"] == "cpu"
+        assert section["overhead"] == pytest.approx(0.005)
+
+    def test_falls_back_to_wall_for_old_baselines(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        base = self._baseline(tmp_path, wall=5.0)  # no cpu_s recorded
+        section = check_overhead(
+            self._report(wall=5.0, cpu=4.0), baseline_path=base
+        )
+        assert section["metric"] == "wall"
+
+    def test_suite_mismatch_skips(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        base = self._baseline(tmp_path, suite="quick")
+        section = check_overhead(self._report(wall=50.0), baseline_path=base)
+        assert not section["checked"]
+        assert "suite mismatch" in section["note"]
+
+    def test_worker_mismatch_skips(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        base = self._baseline(tmp_path, workers=2)
+        section = check_overhead(self._report(wall=50.0), baseline_path=base)
+        assert not section["checked"]
+        assert "worker-count mismatch" in section["note"]
+
+    def test_missing_baseline_skips(self, tmp_path):
+        from repro.exec.bench import check_overhead
+        section = check_overhead(
+            self._report(), baseline_path=tmp_path / "nope.json"
+        )
+        assert not section["checked"]
+        assert "baseline unavailable" in section["note"]
