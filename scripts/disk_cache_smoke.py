@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""CI smoke: one memory-cold bench pass through the persistent disk cache.
+
+Run twice in *separate processes* with a shared ``REPRO_CACHE_DIR``:
+the first invocation populates the store (compile, profile, and
+whole-job entries); the second starts with empty in-memory memos —
+a genuinely fresh process — and must be served from the store: disk
+hits > 0, zero new writes, lower wall-clock, and a bit-identical
+results digest.
+
+Usage: python scripts/disk_cache_smoke.py OUT.json
+"""
+
+import json
+import sys
+import time
+
+from repro import cache as repro_cache
+from repro.exec.farm import FarmJob, results_digest, run_job
+
+JOBS = [
+    FarmJob(
+        fn="repro.exec.jobs:fig10a_point",
+        label="smoke:fig10a:b8",
+        kwargs={"batch": 8, "n_programs": 32},
+    ),
+    FarmJob(
+        fn="repro.exec.jobs:scenario_summary",
+        label="smoke:mergeSort8",
+        kwargs={"app": "mergeSort", "n_vps": 8},
+    ),
+]
+
+
+def main(out_path: str) -> None:
+    if not repro_cache.disk_enabled():
+        raise SystemExit("disk cache disabled -- smoke needs REPRO_DISK_CACHE on")
+    start = time.perf_counter()
+    results = [run_job(job) for job in JOBS]
+    wall_s = time.perf_counter() - start
+    stats = repro_cache.cache_stats()
+    report = {
+        "digest": results_digest(results),
+        "wall_s": wall_s,
+        "disk_hits": stats["hits"],
+        "disk_writes": stats["writes"],
+        "store_root": stats["root"],
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    main(sys.argv[1])

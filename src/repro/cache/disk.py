@@ -1,0 +1,235 @@
+"""The content-addressed on-disk artifact store.
+
+One entry per key, pickled as a ``(key, value)`` tuple into a sharded
+path ``<root>/<key[:2]>/<key>.pkl``.  The store is shared by concurrent
+farm workers, so every write is **atomic**: the payload goes to a
+temporary file in the destination directory and is published with
+:func:`os.replace`, which POSIX guarantees readers see either the old
+entry or the complete new one — never a torn write.
+
+Reads are **corruption-safe by construction**: any failure to open,
+unpickle, or key-verify an entry is treated as a miss (counted under
+``corrupt`` and the offending file best-effort deleted), never an
+exception — a truncated or garbage entry costs one recompute, not a
+crash.  The stored key is verified against the requested one, so even a
+sha256 filename collision (or a renamed file) cannot serve wrong data.
+
+Growth is bounded by ``max_bytes`` with LRU-by-mtime eviction: hits
+touch the entry's mtime, and every ``evict_check_every`` writes the
+store drops oldest-mtime entries until it fits again.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..obs import metrics as _obs_metrics
+
+#: Default size cap: generous for profiles/compiles (hundreds of bytes
+#: each) while keeping a shared dev-box cache dir bounded.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: How many writes between eviction scans (a scan stats every entry).
+DEFAULT_EVICT_CHECK_EVERY = 64
+
+#: Sentinel distinguishing "miss" from a cached ``None`` value.
+MISS = object()
+
+
+class DiskCache:
+    """A persistent, concurrency- and corruption-safe key/value store."""
+
+    def __init__(
+        self,
+        root: Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        evict_check_every: int = DEFAULT_EVICT_CHECK_EVERY,
+    ):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.evict_check_every = max(1, evict_check_every)
+        self._puts_since_check = 0
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self.write_errors = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return f"<DiskCache root={str(self.root)!r} max_bytes={self.max_bytes}>"
+
+    # -- paths -----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _entries(self) -> Iterator[Path]:
+        try:
+            shards = list(self.root.iterdir())
+        except OSError:
+            return
+        for shard in shards:
+            if not shard.is_dir():
+                continue
+            try:
+                yield from (p for p in shard.iterdir() if p.suffix == ".pkl")
+            except OSError:
+                continue
+
+    # -- read ------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The stored value, or :data:`MISS`.
+
+        Every failure mode — missing file, truncated pickle, garbage
+        bytes, key mismatch, unimportable payload class — is a miss.
+        """
+        path = self._path(key)
+        registry = _obs_metrics.REGISTRY
+        try:
+            with open(path, "rb") as fh:
+                stored_key, value = pickle.load(fh)
+            if stored_key != key:
+                raise ValueError("stored key mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            if registry is not None:
+                registry.counter("cache.disk.misses").inc()
+            return MISS
+        except Exception:
+            # Torn/garbage entry: drop it and recompute silently.
+            self.corrupt += 1
+            self.misses += 1
+            if registry is not None:
+                registry.counter("cache.disk.corrupt").inc()
+                registry.counter("cache.disk.misses").inc()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return MISS
+        self.hits += 1
+        if registry is not None:
+            registry.counter("cache.disk.hits").inc()
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return value
+
+    # -- write -----------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> bool:
+        """Atomically publish ``value`` under ``key``.
+
+        Returns ``False`` (and counts a write error) on any I/O failure
+        — a full or read-only disk degrades the cache, never the run.
+        """
+        path = self._path(key)
+        registry = _obs_metrics.REGISTRY
+        tmp_name: Optional[str] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+            )
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((key, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+            tmp_name = None
+        except Exception:
+            self.write_errors += 1
+            if registry is not None:
+                registry.counter("cache.disk.write_errors").inc()
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return False
+        self.writes += 1
+        if registry is not None:
+            registry.counter("cache.disk.writes").inc()
+        self._puts_since_check += 1
+        if self._puts_since_check >= self.evict_check_every:
+            self._puts_since_check = 0
+            self._evict_to_cap()
+        return True
+
+    # -- maintenance -----------------------------------------------------
+
+    def _evict_to_cap(self) -> int:
+        """Drop oldest-mtime entries until the store fits ``max_bytes``."""
+        stats = []
+        total = 0
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        registry = _obs_metrics.REGISTRY
+        for _, size, path in sorted(stats):
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        if registry is not None and evicted:
+            registry.counter("cache.disk.evictions").inc(evicted)
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    # -- introspection ---------------------------------------------------
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-able counters plus the current on-disk footprint."""
+        return {
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "entries": self.entry_count(),
+            "total_bytes": self.total_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,158 @@
+"""Content-addressed keys for the persistent artifact cache.
+
+Every key is the sha256 of an *exact* textual encoding of the inputs the
+cached computation reads — not a sampled or probabilistic digest.  Two
+calls share an entry if and only if the pure function behind the cache
+would produce bit-identical output for both, which is what lets the disk
+layer promise digest transparency:
+
+* a **compile key** encodes each program block's source instruction mix
+  plus the architecture's per-type expansion factors — the only inputs
+  :meth:`repro.kernels.compiler.KernelCompiler.compile` reads;
+* a **profile key** encodes the compiled per-block mixes, each block's
+  trip count evaluated at the *actual* launch context, the launch
+  geometry, the kernel's memory footprint, and the full architectural
+  parameter set — the closure of
+  :meth:`repro.gpu.timing.KernelTimingModel._compute_profile`;
+* a **job-result key** wraps a farm job's config-hash identity with the
+  repro release version, so upgrading the package invalidates (misses)
+  rather than serving stale results.
+
+Floats are encoded with :func:`repr`, which in Python 3 is the shortest
+round-trip representation — exact to the bit, so keys never collide on
+"close" values and never split on equal ones.
+
+This module imports only leaf modules (``kernels.ir``); everything
+heavier is imported lazily inside functions so the cache package can sit
+below the compiler/timing layers without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..kernels.ir import ALL_TYPES
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..gpu.arch import GPUArchitecture
+    from ..kernels.compiler import CompiledKernel
+    from ..kernels.ir import InstructionMix, KernelIR
+    from ..kernels.launch import LaunchConfig
+
+#: Bump when a cached computation's *formulas* change (timing model,
+#: compiler lowering, job wire format): old entries then miss cleanly.
+CACHE_VERSION = "1"
+
+#: Field separator inside key encodings (never appears in float reprs).
+_SEP = "\x1f"
+
+
+def _digest(parts: List[str]) -> str:
+    return hashlib.sha256(_SEP.join(parts).encode()).hexdigest()
+
+
+def _mix_token(mix: "InstructionMix") -> str:
+    return ",".join(repr(mix[t]) for t in ALL_TYPES)
+
+
+def _mapping_token(mapping) -> str:
+    return ",".join(repr(float(mapping.get(t, 1.0))) for t in ALL_TYPES)
+
+
+#: Strong-ref memo of per-architecture hashes.  Architectures are a
+#: handful of frozen module-level constants, so the map stays tiny.
+_ARCH_HASHES: Dict[int, Tuple["GPUArchitecture", str]] = {}
+
+
+def arch_config_hash(arch: "GPUArchitecture") -> str:
+    """sha256 over every architectural parameter the models consume."""
+    cached = _ARCH_HASHES.get(id(arch))
+    if cached is not None and cached[0] is arch:
+        return cached[1]
+    cache = arch.cache
+    parts = [
+        arch.name,
+        str(arch.sm_count),
+        str(arch.cores_per_sm),
+        str(arch.schedulers_per_sm),
+        repr(arch.clock_mhz),
+        str(arch.max_threads_per_sm),
+        str(arch.max_blocks_per_sm),
+        str(arch.warp_size),
+        _mapping_token(arch.warp_issue_cycles),
+        str(cache.size_kb),
+        str(cache.line_bytes),
+        str(cache.associativity),
+        repr(cache.miss_penalty_cycles),
+        repr(arch.memory_bandwidth_gbps),
+        repr(arch.copy_bandwidth_gbps),
+        repr(arch.copy_latency_ms),
+        repr(arch.kernel_launch_overhead_ms),
+        repr(arch.static_power_w),
+        _mapping_token(arch.instruction_energy_nj),
+        repr(arch.dram_access_energy_nj),
+        _mapping_token(arch.compile_expansion),
+    ]
+    value = _digest(parts)
+    _ARCH_HASHES[id(arch)] = (arch, value)
+    return value
+
+
+def compile_key(kernel: "KernelIR", arch: "GPUArchitecture") -> str:
+    """Key for one kernel lowering.
+
+    Lowering reads only each block's source mix and the architecture's
+    expansion factors (trip rules are dynamic, not compiled), so the key
+    encodes exactly those — kernels that differ elsewhere (footprint,
+    trips) correctly share the entry.
+    """
+    parts = ["compile", CACHE_VERSION, _mapping_token(arch.compile_expansion)]
+    for block in kernel.blocks:
+        parts.append(_mix_token(block.mix))
+    return _digest(parts)
+
+
+def profile_key(compiled: "CompiledKernel", launch: "LaunchConfig") -> str:
+    """Key for one execution profile.
+
+    Encodes the full closure of the timing model's pure computation: the
+    compiled per-block mixes, each block's trip count evaluated at this
+    launch's actual context (trip rules may be closures, so they are
+    evaluated, not named), the launch geometry, the memory footprint,
+    and the complete architecture hash.
+    """
+    ctx = launch.context()
+    footprint = compiled.ir.footprint
+    parts = [
+        "profile",
+        CACHE_VERSION,
+        compiled.ir.name,
+        arch_config_hash(compiled.arch),
+        str(launch.grid_size),
+        str(launch.block_size),
+        str(launch.elements),
+        repr(launch.problem_size),
+        str(footprint.bytes_in),
+        str(footprint.bytes_out),
+        str(footprint.working_set_bytes),
+        repr(footprint.locality),
+        repr(footprint.coalesced_fraction),
+    ]
+    for block in compiled.blocks:
+        parts.append(_mix_token(block.mix))
+        parts.append(repr(block.source.trip_count(ctx)))
+    return _digest(parts)
+
+
+def job_result_key(job_key: str) -> str:
+    """Key for one farm job's whole result value.
+
+    ``job_key`` is the job's config-hash identity
+    (:func:`repro.obs.export.config_key`); the release version rides
+    along so a package upgrade misses instead of serving stale values.
+    """
+    import repro  # runtime import: package __init__ defines __version__ late
+
+    version = getattr(repro, "__version__", "0")
+    return _digest(["job", CACHE_VERSION, version, job_key])

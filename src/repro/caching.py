@@ -59,7 +59,18 @@ def register_cache_clearer(clearer: Callable[[], None]) -> Callable[[], None]:
     return clearer
 
 
-def clear_all_caches() -> None:
-    """Empty every registered cache (cold-start state)."""
+def clear_all_caches(disk: bool = False) -> None:
+    """Empty every registered cache (cold-start state).
+
+    ``disk=True`` additionally purges the persistent on-disk artifact
+    store (:mod:`repro.cache`).  The default leaves it alone: the
+    in-memory clear models a fresh *process* (which still sees the
+    shared disk tier), and the bench harness depends on clearing memory
+    while keeping the disk warm.  ``repro cache clear`` passes ``True``.
+    """
     for clearer in _clearers:
         clearer()
+    if disk:
+        from .cache import clear_disk  # runtime import: caching sits below
+
+        clear_disk()

@@ -13,6 +13,12 @@ Commands:
 * ``trace APP [-o FILE]``        — record one scenario into a
                                    Chrome/Perfetto trace (+ metrics)
 * ``metrics APP``                — run one scenario, print its metrics
+* ``cache stats|clear``          — inspect / purge the persistent
+                                   cross-process artifact cache
+
+``--no-disk-cache`` (before the subcommand) disables the persistent
+disk tier for the invocation; ``REPRO_DISK_CACHE=0`` does the same via
+the environment and ``REPRO_CACHE_DIR`` relocates the store.
 """
 
 from __future__ import annotations
@@ -61,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="SigmaVP reproduction: host-GPU multiplexing for "
                     "simulating embedded GPUs (DAC 2015).",
     )
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the persistent on-disk artifact cache "
+                             "for this invocation (equivalent to "
+                             "REPRO_DISK_CACHE=0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the workload catalog")
@@ -111,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm worker processes for the parallel mode")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset of the pinned suite")
-    bench.add_argument("-o", "--output", default="BENCH_PR2.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR3.json",
                        help="JSON report path (use '-' to skip writing)")
     bench.add_argument("--trace", action="store_true",
                        help="add a traced parallel mode and write one "
@@ -123,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-overhead-guard", action="store_true",
                        help="skip the disabled-mode overhead check "
                             "against the committed baseline")
+    bench.add_argument("--cold", action="store_true",
+                       help="add the disk-cache cold-start and "
+                            "batched-execution sections (private "
+                            "temporary store; slower)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or purge the persistent cross-process artifact cache",
+    )
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="'stats' prints the store location, entry "
+                            "count, size, and hit counters as JSON; "
+                            "'clear' removes every entry")
 
     def scenario_options(parser_):
         parser_.add_argument("app", help="workload name (see `repro list`)")
@@ -471,8 +494,26 @@ def _cmd_validate(apps: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cache(action: str) -> None:
+    import json
+
+    from . import cache as repro_cache
+
+    if action == "clear":
+        stats = repro_cache.cache_stats()
+        repro_cache.clear_disk()
+        print(f"cleared {stats['entries']} entries "
+              f"({stats['total_bytes']} bytes) from {stats['root']}")
+        return
+    print(json.dumps(repro_cache.cache_stats(), indent=2))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_disk_cache:
+        from . import cache as repro_cache
+
+        repro_cache.set_disk_enabled(False)
     if args.command == "list":
         _cmd_list()
     elif args.command == "run":
@@ -500,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             output=None if args.output == "-" else Path(args.output),
             trace=args.trace,
             overhead_guard=not args.no_overhead_guard,
+            cold=args.cold,
         )
         print(render_report(report))
         if args.output != "-":
@@ -535,6 +577,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         path = write_report(Path(args.output), quick=args.quick)
         print(f"report written to {path}")
+    elif args.command == "cache":
+        _cmd_cache(args.action)
     elif args.command == "validate":
         return _cmd_validate(args.apps)
     return 0

@@ -31,7 +31,12 @@ import numpy as np
 
 from ..gpu.device import HostGPU
 from ..gpu.engines import Engine
-from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..kernels.functional import (
+    REGISTRY,
+    FunctionalRegistry,
+    batching_enabled,
+    run_batched,
+)
 from ..obs import metrics as _obs_metrics
 from ..obs import tracer as _obs_trace
 from ..sim import Environment, Event
@@ -65,6 +70,13 @@ class DispatchStats:
     )
     completed: int = 0
     busy_waits: int = 0
+    #: Coalesced kernel jobs whose functional effect ran as ONE stacked
+    #: numpy op (and how many member launches that one op covered) vs.
+    #: merged jobs that fell back to the per-VP loop.  Host-side
+    #: execution strategy only — simulated timing never reads these.
+    batched_launches: int = 0
+    batched_members: int = 0
+    fallback_launches: int = 0
 
     def total_dispatched(self) -> int:
         return sum(self.dispatched.values())
@@ -352,7 +364,15 @@ class JobDispatcher:
             for member in self._effective_members(job):
                 if member.host_data is not None and member.handle is not None:
                     buffer = self.handles.buffer(member.handle)
-                    buffer.payload = np.array(member.host_data, copy=True)
+                    # A read-only view instead of a defensive copy: apps
+                    # never mutate a submitted array in place (kernels
+                    # rebind payloads, they do not write through), and
+                    # the cleared writeable flag turns any future
+                    # violation into a loud ValueError instead of a
+                    # silent wrong result.
+                    view = np.asarray(member.host_data).view()
+                    view.flags.writeable = False
+                    buffer.payload = view
 
         return apply
 
@@ -366,7 +386,18 @@ class JobDispatcher:
 
     def _apply_kernel(self, job: Job):
         def apply() -> None:
-            for member in self._effective_members(job):
+            members = self._effective_members(job)
+            if len(members) > 1 and self._apply_batched(members):
+                return
+            if len(members) > 1 and any(
+                m.kernel is not None and self.registry.get(m.kernel.signature)
+                for m in members
+            ):
+                self.stats.fallback_launches += 1
+                registry = _obs_metrics.REGISTRY
+                if registry is not None:
+                    registry.counter("exec.fallback_launches").inc()
+            for member in members:
                 if member.kernel is None or member.out_handle is None:
                     continue
                 fn = self.registry.get(member.kernel.signature)
@@ -379,3 +410,49 @@ class JobDispatcher:
                 self.handles.buffer(member.out_handle).payload = result
 
         return apply
+
+    def _apply_batched(self, members: List[Job]) -> bool:
+        """Run a merged job's functional effect as ONE stacked numpy op.
+
+        All members of a coalesced launch share a signature by
+        construction; the batch additionally requires a batch-flagged
+        implementation, leaf members with uniform parameters, and (via
+        :func:`run_batched`) uniform shapes/dtypes.  Returns ``False``
+        on any precondition failure — the caller then takes the per-VP
+        fallback, which is always correct.
+        """
+        if not batching_enabled():
+            return False
+        first = members[0]
+        if first.kernel is None or first.out_handle is None:
+            return False
+        signature = first.kernel.signature
+        if not self.registry.is_batched(signature):
+            return False
+        fn = self.registry.get(signature)
+        if fn is None:
+            return False
+        params = first.params
+        for member in members:
+            if member.members:  # nested merge: keep the recursive path
+                return False
+            if member.kernel is None or member.out_handle is None:
+                return False
+            if member.kernel.signature != signature or member.params != params:
+                return False
+        inputs_list = [
+            tuple(self.handles.buffer(h).payload for h in member.arg_handles)
+            for member in members
+        ]
+        rows = run_batched(fn, inputs_list, params)
+        if rows is None:
+            return False
+        for member, row in zip(members, rows):
+            self.handles.buffer(member.out_handle).payload = row
+        self.stats.batched_launches += 1
+        self.stats.batched_members += len(members)
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.counter("exec.batched_launches").inc()
+            registry.counter("exec.batched_members").inc(len(members))
+        return True

@@ -40,6 +40,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 # The config-hash / seed algorithm lives in repro.obs.export so exported
 # trace and metrics stamps are byte-identical to farm job identities
 # (one source of truth); re-exported here for backward compatibility.
+from .. import cache as _cache
+from ..caching import caches_enabled
 from ..obs import capture as _obs_capture
 from ..obs import metrics as _obs_metrics
 from ..obs.export import canonical_json, config_key, seed_for
@@ -150,6 +152,30 @@ def run_job(job: FarmJob) -> FarmResult:
     trace_payload: Optional[Dict[str, Any]] = None
     metrics_payload: Optional[Dict[str, Any]] = None
     started = time.perf_counter()
+    # Whole-job result layer: a job's value is a pure function of its
+    # config-hash identity, so a disk entry short-circuits the entire
+    # simulation.  Skipped under observability capture (traces need real
+    # execution) and when caching is globally off.
+    store = result_key = None
+    if not _CAPTURE_OBS and caches_enabled() and _cache.job_results_enabled():
+        store = _cache.disk_cache()
+    if store is not None:
+        result_key = _cache.job_result_key(job.key)
+        cached = store.get(result_key)
+        registry = _obs_metrics.REGISTRY
+        if cached is not _cache.MISS:
+            if registry is not None:
+                registry.counter("cache.disk.job_hits").inc()
+            return FarmResult(
+                job_key=job.key,
+                fn=job.fn,
+                label=job.label or job.fn.rpartition(":")[2],
+                value=cached,
+                duration_s=time.perf_counter() - started,
+                worker_pid=os.getpid(),
+            )
+        if registry is not None:
+            registry.counter("cache.disk.job_misses").inc()
     if _CAPTURE_OBS:
         with _obs_capture() as window:
             with _obs_metrics.timed("farm.run_job"):
@@ -158,6 +184,8 @@ def run_job(job: FarmJob) -> FarmResult:
         metrics_payload = window.metrics_payload()
     else:
         value = fn(**kwargs)
+    if store is not None:
+        store.put(result_key, value)
     return FarmResult(
         job_key=job.key,
         fn=job.fn,
@@ -190,9 +218,27 @@ def warm_worker(capture_obs: bool = False) -> None:
         set_capture(True)
 
 
-def _capture_worker() -> None:
-    """Pool initializer for ``capture_obs`` farms without warm-up."""
-    set_capture(True)
+def _init_worker(
+    capture_obs: bool = False,
+    warm: bool = True,
+    disk_config: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Pool initializer: disk-cache config, optional warm-up, capture.
+
+    The parent ships its resolved disk-cache configuration explicitly
+    (rather than relying on inherited globals) so every worker reads and
+    writes the *same* shared store even on start methods that do not
+    copy parent state.  Warming runs after the store is configured —
+    warm-up compiles then populate/hit the shared disk tier too.
+    """
+    if disk_config is not None:
+        _cache.configure(
+            root=disk_config["root"], enabled=disk_config["enabled"]
+        )
+    if warm:
+        warm_worker()
+    if capture_obs:
+        set_capture(True)
 
 
 def results_digest(results: Sequence[FarmResult]) -> str:
@@ -256,13 +302,12 @@ class ScenarioFarm:
         # freedom (uneven job durations) against per-submission IPC.
         chunk = self.chunk_size or max(1, len(jobs) // (self.workers * 4))
         context = multiprocessing.get_context("fork")
-        if self.warmup:
-            initializer: Optional[Callable] = warm_worker
-            initargs: tuple = (self.capture_obs,)
-        elif self.capture_obs:
-            initializer, initargs = _capture_worker, ()
-        else:
-            initializer, initargs = None, ()
+        disk_config = {
+            "root": _cache.default_root(),
+            "enabled": _cache.disk_enabled(),
+        }
+        initializer: Optional[Callable] = _init_worker
+        initargs: tuple = (self.capture_obs, self.warmup, disk_config)
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(jobs)),
             mp_context=context,

@@ -66,8 +66,15 @@ def scenario_summary(
     n_host_gpus: int = 1,
     scale_elements: Optional[int] = None,
     scale_iterations: Optional[int] = None,
+    functional: bool = False,
 ) -> Dict[str, Any]:
-    """One SigmaVP route for a catalogued app, summarized JSON-ably."""
+    """One SigmaVP route for a catalogued app, summarized JSON-ably.
+
+    ``functional=True`` additionally executes the registered numpy
+    kernels (the bench's batched-execution proof point uses this); the
+    default stays timing-only.  Being a defaulted kwarg, it leaves the
+    config-hash keys of all existing jobs untouched.
+    """
     from ..core.scenarios import run_sigma_vp
 
     result = run_sigma_vp(
@@ -78,6 +85,7 @@ def scenario_summary(
         transport=resolve_transport(transport),
         max_batch=max_batch,
         n_host_gpus=n_host_gpus,
+        functional=functional,
     )
     return result.summary()
 
@@ -184,6 +192,7 @@ def fig10a_point(
     batch: int,
     n_programs: int = 64,
     transport: str = "shared-memory",
+    functional: bool = False,
 ) -> float:
     """Fig. 10(a): total ms at one coalescing degree (1 = coalescing off)."""
     from ..core.scenarios import run_sigma_vp
@@ -200,19 +209,20 @@ def fig10a_point(
         coalescing=batch > 1,
         max_batch=max(batch, 1),
         transport=resolve_transport(transport),
+        functional=functional,
     ).total_ms
 
 
-def fig11_point(app: str, n_vps: int = 8) -> Dict[str, Any]:
+def fig11_point(app: str, n_vps: int = 8, functional: bool = False) -> Dict[str, Any]:
     """One Fig. 11 application: emulation time plus SigmaVP speedups."""
     from ..core.scenarios import run_emulation, run_sigma_vp
 
     spec = get_workload(app)
     emul = run_emulation(spec, n_instances=n_vps).total_ms
     base = run_sigma_vp(spec, n_vps=n_vps, interleaving=False,
-                        coalescing=False).total_ms
+                        coalescing=False, functional=functional).total_ms
     opt = run_sigma_vp(spec, n_vps=n_vps, interleaving=True,
-                       coalescing=True).total_ms
+                       coalescing=True, functional=functional).total_ms
     return {
         "app": app,
         "emulation_ms": emul,

@@ -117,7 +117,12 @@ class HostGPU:
 
         def apply() -> None:
             if host_data is not None:
-                buffer.payload = np.array(host_data, copy=True)
+                # Read-only view, not a defensive copy: submitted arrays
+                # are never mutated in place, and the cleared writeable
+                # flag turns any violation into a loud error.
+                view = np.asarray(host_data).view()
+                view.flags.writeable = False
+                buffer.payload = view
 
         return stream.enqueue(
             self.h2d_engine,

@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from .. import cache as _disk_cache
 from ..caching import caches_enabled
 from ..kernels.compiler import CompiledKernel
 from ..obs import metrics as _obs_metrics
@@ -213,7 +214,23 @@ class KernelTimingModel:
         self.cache_misses += 1
         if registry is not None:
             registry.counter("cache.profile.misses").inc()
-        profile = self._compute_profile(compiled, launch)
+        profile = None
+        store = _disk_cache.disk_cache()
+        disk_key = None
+        if store is not None:
+            # The profile is a pure function of the encoded content key,
+            # so a stored entry is bit-identical to recomputation; any
+            # unusable payload (wrong type, truncation already handled
+            # below the store) falls through to a recompute.
+            disk_key = _disk_cache.profile_key(compiled, launch)
+            cached_profile = store.get(disk_key)
+            if isinstance(cached_profile, ExecutionProfile):
+                profile = cached_profile
+        from_disk = profile is not None
+        if profile is None:
+            profile = self._compute_profile(compiled, launch)
+        if store is not None and not from_disk:
+            store.put(disk_key, profile)
         if caches_enabled():
             self._profile_cache[key] = (compiled, profile)
             if len(self._profile_cache) > self.profile_cache_size:

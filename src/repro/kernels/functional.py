@@ -13,7 +13,8 @@ launch can apply the one registered function to the merged data set.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,17 +24,33 @@ KernelFunction = Callable[..., np.ndarray]
 
 
 class FunctionalRegistry:
-    """Registry of numpy implementations keyed by kernel signature."""
+    """Registry of numpy implementations keyed by kernel signature.
+
+    ``batched=True`` marks an implementation as *replication-batchable*:
+    applying it once to inputs stacked along a new leading axis
+    ``(N, ...)`` produces, row for row, the bit-identical outputs of N
+    independent calls.  That holds for element-wise kernels (every
+    output element depends only on the same-position input elements) and
+    for leading-axis-broadcasting ops like the batched matrix product —
+    but **not** for kernels that reshape away the leading axis, reduce
+    across the whole array, or draw shape-dependent random numbers.
+    Only flagged kernels are eligible for the dispatcher's coalesced
+    batch execution; everything else keeps the per-VP fallback.
+    """
 
     def __init__(self):
         self._functions: Dict[str, KernelFunction] = {}
+        self._batched: Dict[str, bool] = {}
 
-    def register(self, signature: str, fn: KernelFunction) -> KernelFunction:
+    def register(
+        self, signature: str, fn: KernelFunction, batched: bool = False
+    ) -> KernelFunction:
         if not signature:
             raise ValueError("kernel signature must be non-empty")
         if signature in self._functions:
             raise ValueError(f"kernel {signature!r} is already registered")
         self._functions[signature] = fn
+        self._batched[signature] = bool(batched)
         return fn
 
     def get(self, signature: str) -> Optional[KernelFunction]:
@@ -46,6 +63,10 @@ class FunctionalRegistry:
             raise KeyError(f"no functional kernel {signature!r}; known: {known}")
         return fn
 
+    def is_batched(self, signature: str) -> bool:
+        """Whether this signature may execute as one stacked numpy op."""
+        return self._batched.get(signature, False)
+
     def __contains__(self, signature: str) -> bool:
         return signature in self._functions
 
@@ -55,19 +76,94 @@ class FunctionalRegistry:
     def signatures(self) -> List[str]:
         return sorted(self._functions)
 
+    def batched_signatures(self) -> List[str]:
+        return sorted(s for s, b in self._batched.items() if b)
+
 
 #: The process-wide registry the CUDA runtime shim consults.
 REGISTRY = FunctionalRegistry()
 
 
-def functional_kernel(signature: str) -> Callable[[KernelFunction], KernelFunction]:
+def functional_kernel(
+    signature: str, batched: bool = False
+) -> Callable[[KernelFunction], KernelFunction]:
     """Decorator registering ``fn`` as the implementation of ``signature``."""
 
     def decorate(fn: KernelFunction) -> KernelFunction:
-        REGISTRY.register(signature, fn)
+        REGISTRY.register(signature, fn, batched=batched)
         return fn
 
     return decorate
+
+
+# -- batched (stacked) execution --------------------------------------------
+
+#: Global switch for the dispatcher's batched coalesced execution; the
+#: bench harness turns it off to prove digest equality with the per-VP
+#: fallback on identical inputs.
+_BATCHING = True
+
+
+def batching_enabled() -> bool:
+    return _BATCHING
+
+
+def set_batching_enabled(enabled: bool) -> bool:
+    """Switch batched coalesced execution on/off; returns previous state."""
+    global _BATCHING
+    previous = _BATCHING
+    _BATCHING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def batching_scope(enabled: bool):
+    """Temporarily force batched execution on or off."""
+    previous = set_batching_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_batching_enabled(previous)
+
+
+def run_batched(
+    fn: KernelFunction,
+    inputs_list: Sequence[Tuple[np.ndarray, ...]],
+    params: Dict[str, Any],
+) -> Optional[List[np.ndarray]]:
+    """Execute N member calls as ONE call over ``(N, ...)`` stacked inputs.
+
+    Returns the per-member output rows (views into the one stacked
+    result), or ``None`` when the preconditions for a well-defined batch
+    do not hold — mismatched argument counts, non-uniform shapes or
+    dtypes across members, or an implementation that does not preserve
+    the leading axis.  Callers treat ``None`` as "fall back to per-VP
+    execution", so this helper never guesses.
+    """
+    n_members = len(inputs_list)
+    if n_members == 0:
+        return None
+    first = inputs_list[0]
+    n_args = len(first)
+    if any(len(inputs) != n_args for inputs in inputs_list):
+        return None
+    if n_args == 0:
+        return None
+    for position in range(n_args):
+        arrays = [inputs[position] for inputs in inputs_list]
+        head = arrays[0]
+        if not all(isinstance(a, np.ndarray) for a in arrays):
+            return None
+        if any(a.shape != head.shape or a.dtype != head.dtype for a in arrays):
+            return None
+    stacked = [
+        np.stack([inputs[position] for inputs in inputs_list])
+        for position in range(n_args)
+    ]
+    out = fn(*stacked, **params)
+    if not isinstance(out, np.ndarray) or out.ndim < 1 or out.shape[0] != n_members:
+        return None
+    return [out[i] for i in range(n_members)]
 
 
 # ---------------------------------------------------------------------------
@@ -75,18 +171,22 @@ def functional_kernel(signature: str) -> Callable[[KernelFunction], KernelFuncti
 # ---------------------------------------------------------------------------
 
 
-@functional_kernel("vectorAdd")
+@functional_kernel("vectorAdd", batched=True)
 def vector_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Element-wise addition — the paper's coalescing microbenchmark."""
     return np.add(a, b)
 
 
-@functional_kernel("matrixMul")
+@functional_kernel("matrixMul", batched=True)
 def matrix_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Dense matrix product — the paper's Table 1 workload."""
+    """Dense matrix product — the paper's Table 1 workload.
+
+    ``@`` broadcasts over leading axes, so the stacked ``(N, d, d)``
+    batch is the same per-pair GEMM N times — batchable.
+    """
     return a @ b
 
 
-@functional_kernel("saxpy")
+@functional_kernel("saxpy", batched=True)
 def saxpy(x: np.ndarray, y: np.ndarray, alpha: float = 2.0) -> np.ndarray:
     return alpha * x + y

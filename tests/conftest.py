@@ -1,0 +1,20 @@
+"""Suite-wide fixtures.
+
+The persistent disk cache (:mod:`repro.cache`) defaults ON for users,
+but a hermetic test suite must not read or write a shared store under
+``~/.cache`` — cold/warm transparency tests would see artifacts from
+earlier runs.  Every test therefore starts with the disk layer forced
+off; tests that exercise it opt back in with :func:`repro.cache.disk_scope`
+(or :func:`repro.cache.configure`) against their own ``tmp_path`` roots.
+"""
+
+import pytest
+
+from repro import cache as repro_cache
+
+
+@pytest.fixture(autouse=True)
+def _disk_cache_off():
+    previous = repro_cache.set_disk_enabled(False)
+    yield
+    repro_cache.set_disk_enabled(previous)

@@ -1,0 +1,283 @@
+"""The persistent cross-process artifact cache (repro.cache).
+
+The disk tier must be *transparent*: for any scenario, the value computed
+by a memory-cold process is bit-identical whether the store is empty,
+warm, corrupted, or version-bumped — only the wall-clock changes.  These
+tests drive real farm jobs through the compile/profile/job-result layers
+against private tmp_path stores (the suite-wide fixture keeps the shared
+user store out of every test).
+"""
+
+import multiprocessing
+import os
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro import cache as repro_cache
+from repro.cache import MISS, DiskCache
+from repro.caching import cache_scope, clear_all_caches
+from repro.exec.farm import FarmJob, run_job, set_capture
+
+JOB = FarmJob(
+    fn="repro.exec.jobs:scenario_summary",
+    label="vectorAdd2",
+    kwargs={"app": "vectorAdd", "n_vps": 2},
+)
+
+
+def _memory_cold_value():
+    """One scenario with every in-memory memo disabled (fresh-process model)."""
+    clear_all_caches()
+    with cache_scope(False):
+        return run_job(JOB).value
+
+
+def _entry_files(root) -> list:
+    return sorted(Path(root).rglob("*.pkl"))
+
+
+# -- DiskCache unit behaviour -------------------------------------------------
+
+
+def test_get_missing_is_miss(tmp_path):
+    store = DiskCache(tmp_path)
+    assert store.get("ab" + "0" * 62) is MISS
+    assert store.misses == 1
+    assert store.corrupt == 0
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = DiskCache(tmp_path)
+    key = "cd" + "1" * 62
+    assert store.put(key, {"x": [1, 2.5, None]})
+    assert store.get(key) == {"x": [1, 2.5, None]}
+    assert store.hits == 1 and store.writes == 1
+
+
+def test_cached_none_is_not_a_miss(tmp_path):
+    store = DiskCache(tmp_path)
+    key = "ee" + "2" * 62
+    store.put(key, None)
+    assert store.get(key) is None
+    assert store.hits == 1
+
+
+def test_truncated_entry_is_silent_miss_and_removed(tmp_path):
+    store = DiskCache(tmp_path)
+    key = "ff" + "3" * 62
+    store.put(key, "value")
+    path = _entry_files(tmp_path)[0]
+    path.write_bytes(path.read_bytes()[:5])
+    assert store.get(key) is MISS
+    assert store.corrupt == 1
+    assert not path.exists()  # dropped so the next write starts clean
+
+
+def test_renamed_entry_fails_key_verification(tmp_path):
+    store = DiskCache(tmp_path)
+    store.put("aa" + "4" * 62, "value")
+    path = _entry_files(tmp_path)[0]
+    other = path.parent / ("aa" + "5" * 62 + ".pkl")
+    os.rename(path, other)
+    assert store.get("aa" + "5" * 62) is MISS
+    assert store.corrupt == 1
+
+
+def test_clear_counts_entries(tmp_path):
+    store = DiskCache(tmp_path)
+    for i in range(5):
+        store.put(f"{i:02d}" + "a" * 62, i)
+    assert store.entry_count() == 5
+    assert store.clear() == 5
+    assert store.entry_count() == 0
+
+
+def test_lru_eviction_drops_oldest_mtime(tmp_path):
+    probe = DiskCache(tmp_path)
+    probe.put("00" + "p" * 62, b"x" * 64)
+    size = probe.total_bytes()
+    probe.clear()
+
+    store = DiskCache(tmp_path, max_bytes=int(size * 3.5), evict_check_every=1)
+    keys = [f"{i:02d}" + "k" * 62 for i in range(3)]
+    for i, key in enumerate(keys):
+        store.put(key, b"x" * 64)
+        # Explicit, strictly increasing mtimes: filesystem timestamp
+        # granularity must not decide which entry is "oldest".
+        os.utime(store._path(key), (1000.0 + i, 1000.0 + i))
+    store.put("97" + "k" * 62, b"x" * 64)  # 4 * size > cap: evicts keys[0]
+    assert store.evictions >= 1
+    assert store.get(keys[0]) is MISS
+    assert store.get("97" + "k" * 62) == b"x" * 64
+
+
+def test_put_survives_unwritable_root(tmp_path):
+    blocker = tmp_path / "root"
+    blocker.write_text("a file where the cache dir should go")
+    store = DiskCache(blocker)  # mkdir under a file fails on every put
+    assert store.put("ab" + "6" * 62, "value") is False
+    assert store.write_errors == 1
+
+
+# -- transparency through the real caching layers -----------------------------
+
+
+def test_disk_cache_transparent_cold_warm_corrupt(tmp_path):
+    with repro_cache.disk_scope(True, root=tmp_path):
+        cold = _memory_cold_value()  # empty store: computes and populates
+        store = repro_cache.disk_cache()
+        assert store is not None and store.writes > 0
+        assert store.root == Path(tmp_path)
+
+        warm = _memory_cold_value()  # fresh memory, warm disk
+        assert store.hits > 0
+        assert warm == cold
+
+        for path in _entry_files(tmp_path):
+            path.write_bytes(b"\x00garbage")
+        corrupted = _memory_cold_value()  # every read degrades to a miss
+        assert store.corrupt > 0
+        assert corrupted == cold
+
+
+def test_disk_cache_off_matches_on(tmp_path):
+    with repro_cache.disk_scope(True, root=tmp_path):
+        with_disk = _memory_cold_value()
+    with repro_cache.disk_scope(False):
+        without_disk = _memory_cold_value()
+    assert with_disk == without_disk
+
+
+def test_version_bump_misses_but_still_computes(tmp_path, monkeypatch):
+    with repro_cache.disk_scope(True, root=tmp_path):
+        cold = _memory_cold_value()
+        store = repro_cache.disk_cache()
+        writes_before = store.writes
+        monkeypatch.setattr("repro.cache.keys.CACHE_VERSION", "bumped-for-test")
+        bumped = _memory_cold_value()
+        assert bumped == cold
+        # New keys: the old entries were ignored and a second generation
+        # of entries was written alongside them.
+        assert store.writes > writes_before
+
+
+def test_concurrent_writers_leave_readable_entry(tmp_path):
+    key = "ab" + "7" * 62
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(
+            target=_hammer_put, args=(str(tmp_path), key, f"value-{i}", 100)
+        )
+        for i in range(2)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+        assert w.exitcode == 0
+    store = DiskCache(tmp_path)
+    value = store.get(key)
+    # os.replace publishes atomically: the entry is one writer's complete
+    # payload, never interleaved bytes.
+    assert value in {"value-0", "value-1"}
+    assert store.corrupt == 0
+
+
+def _hammer_put(root: str, key: str, value: str, rounds: int) -> None:
+    store = DiskCache(Path(root))
+    for _ in range(rounds):
+        if not store.put(key, value):
+            raise SystemExit(1)
+
+
+# -- the whole-job result layer ----------------------------------------------
+
+
+def test_job_result_layer_short_circuits(tmp_path):
+    job = FarmJob(
+        fn="repro.exec.jobs:fig10a_point",
+        label="f10",
+        kwargs={"batch": 2, "n_programs": 4},
+    )
+    with repro_cache.disk_scope(True, root=tmp_path):
+        clear_all_caches()
+        first = run_job(job)
+        store = repro_cache.disk_cache()
+        writes_after_first = store.writes
+        clear_all_caches()
+        second = run_job(job)
+        assert second.value == first.value
+        assert store.writes == writes_after_first  # served, nothing recomputed
+
+
+def test_job_result_layer_respects_capture_and_toggle(tmp_path):
+    job = FarmJob(
+        fn="repro.exec.jobs:fig10a_point",
+        label="f10",
+        kwargs={"batch": 2, "n_programs": 4},
+    )
+    with repro_cache.disk_scope(True, root=tmp_path):
+        clear_all_caches()
+        first = run_job(job)
+        store = repro_cache.disk_cache()
+
+        # Observability capture needs real execution: the job entry must
+        # not short-circuit it, and the result must still agree.
+        set_capture(True)
+        try:
+            captured = run_job(job)
+        finally:
+            set_capture(False)
+        assert captured.value == first.value
+        assert captured.metrics is not None
+
+        previous = repro_cache.set_job_results_enabled(False)
+        try:
+            recomputed = run_job(job)
+        finally:
+            repro_cache.set_job_results_enabled(previous)
+        assert recomputed.value == first.value
+        assert store is repro_cache.disk_cache()
+
+
+def test_job_entry_roundtrips_through_pickle(tmp_path):
+    # The farm result value must be picklable as stored (regression
+    # guard for future job functions returning live objects).
+    with repro_cache.disk_scope(True, root=tmp_path):
+        clear_all_caches()
+        value = run_job(JOB).value
+    assert pickle.loads(pickle.dumps(value)) == value
+
+
+# -- global clear wiring ------------------------------------------------------
+
+
+def test_clear_all_caches_disk_flag(tmp_path):
+    with repro_cache.disk_scope(True, root=tmp_path):
+        store = repro_cache.disk_cache()
+        store.put("ab" + "8" * 62, 1)
+        clear_all_caches()  # default: memory only, disk untouched
+        assert store.entry_count() == 1
+        clear_all_caches(disk=True)
+        assert store.entry_count() == 0
+
+
+def test_cache_stats_reports_configuration(tmp_path):
+    with repro_cache.disk_scope(True, root=tmp_path):
+        repro_cache.disk_cache().put("ab" + "9" * 62, "v")
+        stats = repro_cache.cache_stats()
+    assert stats["root"] == str(tmp_path)
+    assert stats["enabled"] is True
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+
+
+def test_disk_scope_restores_previous_state(tmp_path):
+    assert repro_cache.disk_enabled() is False  # suite fixture
+    with repro_cache.disk_scope(True, root=tmp_path):
+        assert repro_cache.disk_enabled() is True
+        assert repro_cache.default_root() == Path(tmp_path)
+    assert repro_cache.disk_enabled() is False
+    assert repro_cache.default_root() != Path(tmp_path)

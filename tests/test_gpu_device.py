@@ -186,9 +186,11 @@ def test_h2d_copy_sets_payload():
     gpu.memcpy_h2d(stream, buf, data)
     env.run()
     np.testing.assert_array_equal(buf.payload, data)
-    # It is a copy, not a reference.
-    data[0] = -1
-    assert buf.payload[0] == 0
+    # Zero-copy: the payload is a read-only view of the submitted array,
+    # so accidental in-place writes through the device side fail loudly.
+    assert not buf.payload.flags.writeable
+    with pytest.raises(ValueError):
+        buf.payload[0] = -1
 
 
 def test_d2h_copy_delivers_payload():
