@@ -13,8 +13,14 @@ Commands:
 * ``trace APP [-o FILE]``        — record one scenario into a
                                    Chrome/Perfetto trace (+ metrics)
 * ``metrics APP``                — run one scenario, print its metrics
+* ``policies``                   — list registered scheduling policies
+                                   and placement strategies
 * ``cache stats|clear``          — inspect / purge the persistent
                                    cross-process artifact cache
+
+``run``, ``trace``, ``metrics``, and ``bench`` accept ``--policy`` /
+``--placement`` to swap the scheduling pipeline's select/place stages
+(see ``repro policies`` and ``docs/SCHEDULING.md``).
 
 ``--no-disk-cache`` (before the subcommand) disables the persistent
 disk tier for the invocation; ``REPRO_DISK_CACHE=0`` does the same via
@@ -61,6 +67,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _sched_options(parser_: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the scheduling-stage overrides (see ``repro policies``)."""
+    parser_.add_argument("--policy", default=None, metavar="NAME",
+                         help="scheduling policy (default: follow "
+                              "interleaving; see `repro policies`)")
+    parser_.add_argument("--placement", default=None, metavar="NAME",
+                         help="device placement strategy (default: "
+                              "round-robin; see `repro policies`)")
+    return parser_
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -92,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the engine timeline")
     run.add_argument("--account", action="store_true",
                      help="print per-VP / per-kind latency accounting")
+    _sched_options(run)
 
     def with_workers(parser_, default=1):
         parser_.add_argument("--workers", type=_positive_int, default=default,
@@ -137,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add the disk-cache cold-start and "
                             "batched-execution sections (private "
                             "temporary store; slower)")
+    _sched_options(bench)
+
+    sub.add_parser(
+        "policies",
+        help="list registered scheduling policies and placement strategies",
+    )
 
     cache = sub.add_parser(
         "cache",
@@ -157,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser_.add_argument("--no-coalescing", action="store_true")
         parser_.add_argument("--transport", choices=("socket", "shm"),
                              default="socket")
+        _sched_options(parser_)
         return parser_
 
     trace = scenario_options(sub.add_parser(
@@ -220,6 +245,16 @@ def _cmd_list() -> None:
     ))
 
 
+def _sched_kwargs(args: argparse.Namespace) -> dict:
+    """Non-default --policy/--placement values as job/framework kwargs."""
+    kwargs = {}
+    if getattr(args, "policy", None) is not None:
+        kwargs["policy"] = args.policy
+    if getattr(args, "placement", None) is not None:
+        kwargs["placement"] = args.placement
+    return kwargs
+
+
 def _cmd_run_sweep(args: argparse.Namespace, vps_list: List[int]) -> None:
     """Fan one app across several VP counts over the scenario farm."""
     from .exec import FarmJob, ScenarioFarm
@@ -235,6 +270,9 @@ def _cmd_run_sweep(args: argparse.Namespace, vps_list: List[int]) -> None:
                 "coalescing": not args.no_coalescing,
                 "transport": "shm" if args.transport == "shm" else "socket",
                 "n_host_gpus": args.gpus,
+                # Only non-default stages enter the kwargs, so default
+                # sweeps keep their pre-existing config-hash keys.
+                **_sched_kwargs(args),
             },
             label=f"{args.app}:{n}vps",
         )
@@ -278,18 +316,23 @@ def _cmd_run(args: argparse.Namespace) -> None:
         from .kernels.functional import FunctionalRegistry
 
         registry_kwargs["registry"] = FunctionalRegistry()
+    from .sched import SchedulerConfig
+
     framework = SigmaVP(
         transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
         interleaving=not args.no_interleaving,
         coalescing=not args.no_coalescing,
         n_vps=args.vps,
         n_host_gpus=args.gpus,
+        sched=SchedulerConfig.from_names(args.policy, args.placement),
         **registry_kwargs,
     )
     total = framework.run_workload(spec)
     print(f"{spec.name}: {args.vps} VPs on {args.gpus} host GPU(s), "
           f"interleaving={'on' if not args.no_interleaving else 'off'}, "
-          f"coalescing={'on' if not args.no_coalescing else 'off'}")
+          f"coalescing={'on' if not args.no_coalescing else 'off'}, "
+          f"policy={framework.dispatcher.policy.name}, "
+          f"placement={framework.dispatcher.pipeline.placement.name}")
     print(f"total simulated time: {total:.3f} ms")
     print(f"IPC messages: {framework.ipc.messages_sent}")
     if framework.coalescer is not None:
@@ -412,6 +455,7 @@ def _scenario_job(args: argparse.Namespace):
             "coalescing": not args.no_coalescing,
             "transport": "shm" if args.transport == "shm" else "socket",
             "n_host_gpus": args.gpus,
+            **_sched_kwargs(args),
         },
         label=f"{args.app}:{args.vps}vps",
     )
@@ -494,6 +538,25 @@ def _cmd_validate(apps: List[str]) -> int:
     return 1 if failures else 0
 
 
+def _cmd_policies() -> None:
+    from .sched import available_placements, available_policies
+
+    print(render_table(
+        ["Policy", "Description"],
+        available_policies(),
+        title="Scheduling policies (select stage)",
+    ))
+    print()
+    print(render_table(
+        ["Placement", "Description"],
+        available_placements(),
+        title="Placement strategies (place stage)",
+    ))
+    print()
+    print("Use with: repro run/trace/metrics/bench --policy NAME "
+          "--placement NAME")
+
+
 def _cmd_cache(action: str) -> None:
     import json
 
@@ -542,6 +605,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace=args.trace,
             overhead_guard=not args.no_overhead_guard,
             cold=args.cold,
+            policy=args.policy,
+            placement=args.placement,
         )
         print(render_report(report))
         if args.output != "-":
@@ -577,6 +642,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         path = write_report(Path(args.output), quick=args.quick)
         print(f"report written to {path}")
+    elif args.command == "policies":
+        _cmd_policies()
     elif args.command == "cache":
         _cmd_cache(args.action)
     elif args.command == "validate":

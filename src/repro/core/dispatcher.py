@@ -19,6 +19,11 @@ Two service disciplines are provided:
 Per-VP partial order is preserved structurally: only each VP's earliest
 pending job is dispatchable, and a VP never has two jobs in flight (the
 stream-pump semantics of a per-VP CUDA stream).
+
+Scheduling decisions themselves live in :mod:`repro.sched`: the
+dispatcher is a thin engine-facing executor that consults a
+:class:`~repro.sched.SchedulerPipeline` (admission → hold/merge →
+select → place) for *what* to run next and then runs it.
 """
 
 from __future__ import annotations
@@ -39,21 +44,29 @@ from ..kernels.functional import (
 )
 from ..obs import metrics as _obs_metrics
 from ..obs import tracer as _obs_trace
+from ..sched.backlog import EngineBacklog, engine_role
+from ..sched.config import (
+    DEFAULT_HOST_CALL_MS,
+    DEFAULT_PROFILING_OVERHEAD_MS,
+    SchedulerConfig,
+)
+from ..sched.pipeline import SchedulerPipeline
+from ..sched.placement import PlacementStrategy, RoundRobinPlacement
+from ..sched.policies import SchedulingPolicy
 from ..sim import Environment, Event
 from .coalescing import KernelCoalescer
 from .handles import HandleTable
 from .jobs import Job, JobKind, JobQueue
 from .profiler import Profiler
-from .rescheduler import EngineBacklog, SchedulingPolicy, engine_role
 
-#: Host-side time to service a malloc/free request (driver bookkeeping).
-HOST_CALL_MS = 0.002
+#: Default host-side time to service a malloc/free request — kept as a
+#: module name for backward compatibility; the live value is
+#: ``SchedulerConfig.host_call_ms``.
+HOST_CALL_MS = DEFAULT_HOST_CALL_MS
 
-#: Host-side profiling cost charged per kernel *job* (the CUPTI-style
-#: per-launch instrumentation SigmaVP's Profiler needs for Section 4's
-#: estimation).  A coalesced launch pays this once for its whole batch —
-#: one of the fixed per-invocation overheads Kernel Coalescing amortizes.
-PROFILING_OVERHEAD_MS = 0.15
+#: Default host-side profiling cost charged per kernel *job*; the live
+#: value is ``SchedulerConfig.profiling_overhead_ms``.
+PROFILING_OVERHEAD_MS = DEFAULT_PROFILING_OVERHEAD_MS
 
 
 class ServiceMode(enum.Enum):
@@ -97,15 +110,16 @@ class JobDispatcher:
         registry: FunctionalRegistry = REGISTRY,
         profiler: Optional[Profiler] = None,
         extra_gpus: Optional[List[HostGPU]] = None,
+        placement: Optional[PlacementStrategy] = None,
+        config: Optional[SchedulerConfig] = None,
     ):
         self.env = env
         self.gpu = gpu
         #: All host GPUs this dispatcher multiplexes ("SigmaVP multiplexes
         #: the host GPUs", paper Section 2).  VPs get a device affinity
-        #: round-robin on their first request; their buffers and kernels
-        #: stay on that device.
+        #: via the placement strategy on their first request; their
+        #: buffers and kernels stay on that device.
         self.gpus: List[HostGPU] = [gpu, *(extra_gpus or [])]
-        self._vp_device: Dict[str, int] = {}
         self.queue = queue
         self.handles = handles
         self.policy = policy
@@ -113,7 +127,19 @@ class JobDispatcher:
         self.coalescer = coalescer
         self.registry = registry
         self.profiler = profiler
-        self.backlog = EngineBacklog()
+        self.config = config if config is not None else SchedulerConfig()
+        self.backlog = EngineBacklog(debug=self.config.debug_enabled)
+        #: The four-stage dispatch pipeline this executor consults
+        #: (admission → hold/merge → select → place).
+        self.pipeline = SchedulerPipeline(
+            policy,
+            placement if placement is not None else RoundRobinPlacement(),
+            self.backlog,
+            n_devices=len(self.gpus),
+            coalescer=coalescer,
+            engine_has_room=self._engine_has_room,
+            expected_ms=self._expected_ms,
+        )
         self.stats = DispatchStats()
         #: Every job this dispatcher completed, in completion order
         #: (members of merged jobs included) — the accounting source.
@@ -131,15 +157,8 @@ class JobDispatcher:
     # -- engine mapping ----------------------------------------------------
 
     def device_index_for(self, vp: str) -> int:
-        """The device a VP is bound to (assigned round-robin on first use)."""
-        if vp not in self._vp_device:
-            self._vp_device[vp] = len(self._vp_device) % len(self.gpus)
-        return self._vp_device[vp]
-
-    def _bind_device(self, job: Job) -> None:
-        if job.members:
-            return  # merged jobs carry their members' device
-        job.device = self.device_index_for(job.vp)
+        """The device a VP is bound to (placement strategy, first use)."""
+        return self.pipeline.placer.device_for(vp, self.backlog)
 
     def _gpu_of(self, job: Job) -> HostGPU:
         return self.gpus[job.device]
@@ -165,12 +184,14 @@ class JobDispatcher:
 
     def _run(self):
         while True:
-            if self.coalescer is not None:
-                self.coalescer.coalesce_pass(self.queue)
+            self.pipeline.hold.merge(self.queue)
 
-            job, deadline = self._choose()
+            decision = self.pipeline.decide(
+                self.queue, self._inflight, self.env.now
+            )
+            job = decision.job
             if job is None:
-                yield self._idle_event(deadline)
+                yield self._idle_event(decision.hold_deadline)
                 continue
 
             self.queue.remove(job)
@@ -187,57 +208,6 @@ class JobDispatcher:
             execution = self.env.process(self._execute(job, expected))
             if self.mode is ServiceMode.SERIAL:
                 yield execution
-
-    def _choose(self):
-        """Next dispatchable job per the policy, and the earliest hold
-        deadline if everything is being held for coalescing."""
-        heads = self.queue.heads_per_vp()
-        candidates: List[Job] = []
-        deadlines: List[float] = []
-        for job in heads.values():
-            if job.vp in self._inflight:
-                continue
-            if self.queue.barred(job.vp, job.seq):
-                continue
-            if any(not dep.processed for dep in job.depends_on):
-                continue
-            self._bind_device(job)
-            if not self._engine_has_room(job):
-                continue
-            if self.coalescer is not None:
-                deadline = self.coalescer.hold_deadline(self.queue, job)
-                if deadline is not None:
-                    deadlines.append(deadline)
-                    continue
-            candidates.append(job)
-        choice = self.policy.select(candidates, self.backlog)
-        tracer = _obs_trace.TRACER
-        if tracer is not None and choice is not None:
-            # A pick is a *reorder* when the policy passed over an older
-            # job — the observable act of Kernel Interleaving.
-            fifo_head = min(job.job_id for job in candidates)
-            tracer.instant(
-                "dispatcher", "dispatch", self.env.now, cat="sched",
-                args={
-                    "job": choice.job_id,
-                    "vp": choice.vp,
-                    "seq": choice.seq,
-                    "kind": choice.kind.name,
-                    "policy": self.policy.name,
-                    "reordered": choice.job_id != fifo_head,
-                    "candidates": len(candidates),
-                },
-            )
-        registry = _obs_metrics.REGISTRY
-        if registry is not None and choice is not None:
-            registry.counter("dispatch.decisions").inc()
-            if choice.job_id != min(job.job_id for job in candidates):
-                registry.counter("dispatch.reorders").inc()
-            registry.histogram(
-                "dispatch.candidates", _obs_metrics.DEPTH_BUCKETS
-            ).observe(len(candidates))
-        earliest = min(deadlines) if deadlines else None
-        return choice, earliest
 
     def _idle_event(self, hold_deadline: Optional[float]) -> Event:
         """Event that fires when dispatching might become possible again."""
@@ -258,12 +228,12 @@ class JobDispatcher:
         if job.kind is JobKind.EVENT:
             return 0.0
         if job.kind in (JobKind.MALLOC, JobKind.FREE):
-            return HOST_CALL_MS
+            return self.config.host_call_ms
         if job.is_copy:
             return gpu.arch.copy_time_ms(job.nbytes)
         assert job.is_kernel
         compiled = gpu.compiler.compile(job.kernel, gpu.arch)
-        return PROFILING_OVERHEAD_MS + gpu.timing.kernel_time_ms(
+        return self.config.profiling_overhead_ms + gpu.timing.kernel_time_ms(
             compiled, job.launch
         )
 
@@ -277,11 +247,11 @@ class JobDispatcher:
                 if job.sink is not None:
                     job.sink(self.env.now)
             elif job.kind is JobKind.MALLOC:
-                yield self.env.timeout(HOST_CALL_MS)
+                yield self.env.timeout(self.config.host_call_ms)
                 buffer = gpu.malloc(job.size, owner=job.vp)
                 self.handles.bind(job.handle, buffer)
             elif job.kind is JobKind.FREE:
-                yield self.env.timeout(HOST_CALL_MS)
+                yield self.env.timeout(self.config.host_call_ms)
                 gpu.free(self.handles.release(job.handle))
             elif job.kind is JobKind.COPY_H2D:
                 yield self._run_on_engine(

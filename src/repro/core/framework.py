@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 from ..gpu.arch import GPUArchitecture, QUADRO_4000, TEGRA_K1
 from ..gpu.device import HostGPU
 from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..sched.config import SchedulerConfig
+from ..sched.registry import make_placement, make_policy
 from ..sim import Environment, Process
 from ..vp.cpu import CPUModel, QEMU_ARM_VP
 from ..vp.cuda_runtime import CudaRuntime, SigmaVPBackend
@@ -36,7 +38,6 @@ from .handles import HandleTable
 from .ipc import IPCManager, IPCTransport, SOCKET
 from .jobs import JobQueue
 from .profiler import Profiler
-from .rescheduler import FIFOPolicy, InterleavingPolicy
 
 
 @dataclass
@@ -66,6 +67,7 @@ class SigmaVP:
         n_vps: int = 0,
         vp_cpu: CPUModel = QEMU_ARM_VP,
         n_host_gpus: int = 1,
+        sched: Optional[SchedulerConfig] = None,
     ):
         if n_host_gpus < 1:
             raise ValueError(f"n_host_gpus must be >= 1, got {n_host_gpus}")
@@ -104,8 +106,16 @@ class SigmaVP:
 
         # Interleaving = the optimized service discipline; without it the
         # prototype serves one request to completion at a time (the
-        # baseline of paper Figs. 3a and 9).
-        policy = InterleavingPolicy() if interleaving else FIFOPolicy()
+        # baseline of paper Figs. 3a and 9).  The scheduler config names
+        # the pluggable stages; by default the policy follows the
+        # ``interleaving`` flag and placement is the legacy round-robin.
+        self.sched = sched if sched is not None else SchedulerConfig()
+        policy = make_policy(
+            self.sched.resolve_policy(interleaving), **self.sched.policy_options
+        )
+        placement = make_placement(
+            self.sched.placement, **self.sched.placement_options
+        )
         mode = ServiceMode.PIPELINED if interleaving else ServiceMode.SERIAL
         self.dispatcher = JobDispatcher(
             self.env,
@@ -118,6 +128,8 @@ class SigmaVP:
             registry=registry,
             profiler=self.profiler,
             extra_gpus=self.gpus[1:],
+            placement=placement,
+            config=self.sched,
         )
         if coalescer is not None:
             # Triples merge only within one device's VPs.

@@ -1,137 +1,30 @@
-"""The Re-scheduler: dispatch-order policies over the Job Queue.
+"""Backward-compatibility shim: the Re-scheduler moved to :mod:`repro.sched`.
 
-"The Re-scheduler has two functions.  First, it reorders the asynchronous
-kernel jobs in the Job Queue by keeping a partial order in the original
-VP.  It is a non-preemptive, optimal scheduler augmented for job
-dependencies.  Second, it combines identical kernel requests in the Job
-Queue into one single kernel job, by using Kernel Coalescing" (paper
-Section 2).  This module implements the first function; the second lives
-in :mod:`repro.core.coalescing`.
+"The Re-scheduler has two functions.  First, it reorders the
+asynchronous kernel jobs in the Job Queue by keeping a partial order in
+the original VP. ... Second, it combines identical kernel requests in
+the Job Queue into one single kernel job, by using Kernel Coalescing"
+(paper Section 2).  The first function now lives in the pluggable
+scheduling layer — policies in :mod:`repro.sched.policies`, backlog
+accounting in :mod:`repro.sched.backlog`, the name-keyed registry in
+:mod:`repro.sched.registry` — and the second in
+:mod:`repro.core.coalescing`.
 
-The partial-order invariant is enforced structurally: policies only ever
-choose among each VP's *earliest* pending job (the dispatchable heads),
-so jobs of one VP can never be reordered against each other, while jobs
-of different VPs can.
+Import from :mod:`repro.sched` in new code; this module keeps the old
+import paths (``repro.core.rescheduler.FIFOPolicy`` and friends) alive.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from ..sched.backlog import EngineBacklog, engine_role
+from ..sched.policies import FIFOPolicy, InterleavingPolicy, SchedulingPolicy
+from ..sched.registry import make_policy
 
-from .jobs import Job, JobKind
-
-
-def engine_role(job: Job) -> str:
-    """Which hardware engine a job occupies.
-
-    On a multi-GPU host the role is qualified by the device the job is
-    bound to (``job.device``), so each GPU's engines are balanced
-    independently.
-    """
-    if job.kind is JobKind.COPY_H2D:
-        role = "h2d"
-    elif job.kind is JobKind.COPY_D2H:
-        role = "d2h"
-    elif job.kind is JobKind.KERNEL:
-        role = "compute"
-    else:
-        return "host"  # malloc/free: host-side bookkeeping, no engine
-    if job.device:
-        return f"{role}@{job.device}"
-    return role
-
-
-@dataclass
-class EngineBacklog:
-    """Predicted outstanding work per engine, maintained by the dispatcher.
-
-    The Re-scheduler "reorders the executions to reduce the wasted cycles
-    across the two engines ... by using the expected time for each
-    invocation" (paper Section 3) — these expected-time totals are what
-    the interleaving policy balances.
-    """
-
-    per_engine: Dict[str, float] = field(default_factory=dict)
-
-    def for_job(self, job: Job) -> float:
-        return self.per_engine.get(engine_role(job), 0.0)
-
-    def add(self, job: Job, expected_ms: float) -> None:
-        role = engine_role(job)
-        self.per_engine[role] = self.per_engine.get(role, 0.0) + expected_ms
-
-    def retire(self, job: Job, expected_ms: float) -> None:
-        role = engine_role(job)
-        self.per_engine[role] = max(
-            0.0, self.per_engine.get(role, 0.0) - expected_ms
-        )
-
-
-class SchedulingPolicy(abc.ABC):
-    """Chooses the next job to dispatch among the dispatchable heads."""
-
-    name: str = "abstract"
-
-    @abc.abstractmethod
-    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
-        """Pick the next job, or None to dispatch nothing right now."""
-
-    def __repr__(self) -> str:
-        return f"<{self.__class__.__name__}>"
-
-
-class FIFOPolicy(SchedulingPolicy):
-    """Arrival order — the unoptimized baseline (paper Fig. 3a)."""
-
-    name = "fifo"
-
-    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
-        if not dispatchable:
-            return None
-        return min(dispatchable, key=lambda job: job.job_id)
-
-
-class InterleavingPolicy(SchedulingPolicy):
-    """Kernel Interleaving: keep both engines busy, rotate across VPs.
-
-    Among the dispatchable per-VP heads the policy prefers
-
-    1. jobs whose target engine has the smaller expected backlog (feed
-       the starving engine — the mechanism of paper Fig. 3b), then
-    2. the VP served least recently (fair rotation, which produces the
-       copy/kernel pipelining of Fig. 4), then
-    3. arrival order as the deterministic tie-break.
-    """
-
-    name = "interleaving"
-
-    def __init__(self):
-        self._last_served: Dict[str, int] = {}
-        self._serve_counter = 0
-
-    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
-        if not dispatchable:
-            return None
-
-        def rank(job: Job):
-            return (
-                backlog.for_job(job),
-                self._last_served.get(job.vp, -1),
-                job.job_id,
-            )
-
-        choice = min(dispatchable, key=rank)
-        self._serve_counter += 1
-        self._last_served[choice.vp] = self._serve_counter
-        return choice
-
-
-def make_policy(name: str) -> SchedulingPolicy:
-    """Factory for the catalogued policies."""
-    if name == "fifo":
-        return FIFOPolicy()
-    if name == "interleaving":
-        return InterleavingPolicy()
-    raise ValueError(f"unknown scheduling policy {name!r} (fifo, interleaving)")
+__all__ = [
+    "EngineBacklog",
+    "FIFOPolicy",
+    "InterleavingPolicy",
+    "SchedulingPolicy",
+    "engine_role",
+    "make_policy",
+]

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from ..gpu.arch import GPUArchitecture, QUADRO_4000
 from ..gpu.device import HostGPU
 from ..kernels.functional import REGISTRY, FunctionalRegistry
+from ..sched.config import SchedulerConfig
 from ..sim import Environment
 from ..vp.cpu import CPUModel, HOST_XEON, QEMU_ARM_VP
 from ..vp.cuda_runtime import CudaRuntime, EmulationBackend, NativeGPUBackend
@@ -170,10 +171,25 @@ def run_sigma_vp(
     max_batch: int = 64,
     hold_window_ms: Optional[float] = None,
     n_host_gpus: int = 1,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
+    sched: Optional[SchedulerConfig] = None,
 ) -> ScenarioResult:
-    """The SigmaVP pipeline (Table 1 row 4; Fig. 11 speedup lines)."""
+    """The SigmaVP pipeline (Table 1 row 4; Fig. 11 speedup lines).
+
+    ``policy``/``placement`` name registered scheduling stages (see
+    :func:`repro.sched.available_policies`); a full
+    :class:`~repro.sched.SchedulerConfig` can be passed as ``sched``
+    instead.  With neither, the legacy wiring applies (policy follows
+    ``interleaving``, placement is round-robin) and the scenario label —
+    part of the digest wire format — is unchanged.
+    """
     if n_vps <= 0:
         raise ValueError(f"n_vps must be positive, got {n_vps}")
+    if sched is None:
+        sched = SchedulerConfig.from_names(policy, placement)
+    elif policy is not None or placement is not None:
+        raise ValueError("pass either sched= or policy=/placement=, not both")
     framework = SigmaVP(
         host_arch=host_arch,
         transport=transport,
@@ -184,11 +200,21 @@ def run_sigma_vp(
         registry=_registry(functional),
         n_vps=n_vps,
         n_host_gpus=n_host_gpus,
+        sched=sched,
     )
     total = framework.run_workload(spec)
     sessions = [framework.session(n) for n in sorted(framework.sessions)]
+    scenario = f"sigma-vp(interleave={interleaving}, coalesce={coalescing})"
+    if not sched.is_default_stages():
+        # Non-default stages are part of the scenario identity; default
+        # runs keep the legacy label so their digests stay bit-identical.
+        scenario = (
+            f"sigma-vp(interleave={interleaving}, coalesce={coalescing}, "
+            f"policy={sched.resolve_policy(interleaving)}, "
+            f"placement={sched.placement})"
+        )
     return ScenarioResult(
-        scenario=f"sigma-vp(interleave={interleaving}, coalesce={coalescing})",
+        scenario=scenario,
         workload=spec.name,
         n_instances=n_vps,
         total_ms=total,

@@ -2,7 +2,7 @@
 
 The paper describes the Re-scheduler as "a non-preemptive, optimal
 scheduler augmented for job dependencies [14]".  The dispatch policies in
-:mod:`repro.core.rescheduler` are online heuristics; this module supplies
+:mod:`repro.sched.policies` are online heuristics; this module supplies
 the offline analytics that judge them: build the dependency DAG of a
 queue snapshot (per-VP program order, explicit ``depends_on`` edges, and
 engine exclusivity), compute the critical path, and derive two lower
@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import networkx as nx
 
 from .jobs import Job
-from .rescheduler import engine_role
+from ..sched.backlog import engine_role
 
 #: Estimates a job's service time (the dispatcher's `_expected_ms`).
 DurationFn = Callable[[Job], float]

@@ -112,6 +112,43 @@ BATCHED_SUITE: List[FarmJob] = [
 ]
 
 
+#: Job functions that accept ``policy=``/``placement=`` kwargs; only
+#: these are rewritten when ``repro bench --policy/--placement`` asks
+#: for a non-default scheduling stage.
+SCHED_AWARE_FNS = frozenset({
+    "repro.exec.jobs:scenario_summary",
+    "repro.exec.jobs:phase_point",
+    "repro.exec.jobs:fig10a_point",
+})
+
+
+def with_sched_stages(
+    jobs: Sequence[FarmJob],
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> List[FarmJob]:
+    """Rewrite sched-aware suite jobs to carry policy/placement kwargs.
+
+    Jobs whose functions have no scheduling surface pass through
+    untouched; with neither override set, the input is returned as-is so
+    default benches keep the exact config-hash keys (and therefore the
+    cache entries and digests) they had before this option existed.
+    """
+    if policy is None and placement is None:
+        return list(jobs)
+    out: List[FarmJob] = []
+    for job in jobs:
+        if job.fn in SCHED_AWARE_FNS:
+            kwargs = dict(job.kwargs)
+            if policy is not None:
+                kwargs["policy"] = policy
+            if placement is not None:
+                kwargs["placement"] = placement
+            job = FarmJob(fn=job.fn, kwargs=kwargs, label=job.label)
+        out.append(job)
+    return out
+
+
 class BenchDigestError(AssertionError):
     """Two bench modes simulated different results."""
 
@@ -407,6 +444,8 @@ def run_bench(
     baseline: Path = BASELINE_PATH,
     overhead_limit: float = DEFAULT_OVERHEAD_LIMIT,
     cold: bool = False,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the pinned suite serial-cold, serial-warm, and parallel-warm.
 
@@ -427,8 +466,18 @@ def run_bench(
     ``report["disk_cache"]`` and ``report["batched_execution"]``.  The
     three standard modes always run with the disk tier *off* so their
     wall times keep measuring the in-memory paths of prior baselines.
+
+    ``policy``/``placement`` thread registered scheduling stages through
+    every sched-aware suite job (:func:`with_sched_stages`); the
+    overhead guard is only meaningful against a like-for-like baseline,
+    so it is skipped for non-default stages.
     """
     suite = list(jobs) if jobs is not None else (QUICK_SUITE if quick else FULL_SUITE)
+    if policy is not None or placement is not None:
+        suite = with_sched_stages(suite, policy, placement)
+        # Wall times of a different scheduling policy are not comparable
+        # to the committed default-policy baseline.
+        overhead_guard = False
 
     # Cold runs once (it is the long mode and only noise-inflated, which
     # if anything under-reports the speedups); warm modes are cheap, so
@@ -488,6 +537,8 @@ def run_bench(
         "digest": cold_mode["digest"],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    if policy is not None or placement is not None:
+        report["sched"] = {"policy": policy, "placement": placement}
     if traced is not None:
         # Within-run cost of turning tracing on (same farm shape).
         report["tracing_overhead"] = {

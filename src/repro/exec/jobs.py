@@ -67,13 +67,17 @@ def scenario_summary(
     scale_elements: Optional[int] = None,
     scale_iterations: Optional[int] = None,
     functional: bool = False,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One SigmaVP route for a catalogued app, summarized JSON-ably.
 
     ``functional=True`` additionally executes the registered numpy
     kernels (the bench's batched-execution proof point uses this); the
-    default stays timing-only.  Being a defaulted kwarg, it leaves the
-    config-hash keys of all existing jobs untouched.
+    default stays timing-only.  ``policy``/``placement`` name registered
+    scheduling stages (``repro policies`` lists them).  All three are
+    defaulted kwargs, so they leave the config-hash keys of all existing
+    jobs untouched.
     """
     from ..core.scenarios import run_sigma_vp
 
@@ -86,6 +90,8 @@ def scenario_summary(
         max_batch=max_batch,
         n_host_gpus=n_host_gpus,
         functional=functional,
+        policy=policy,
+        placement=placement,
     )
     return result.summary()
 
@@ -118,9 +124,12 @@ def phase_point(
     interleaving: bool = True,
     coalescing: bool = False,
     transport: str = "shared-memory",
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> float:
     """Total ms for a synthetic phase-loop fleet (scaling/ablation benches)."""
     from ..core.framework import SigmaVP
+    from ..sched.config import SchedulerConfig
     from ..workloads.synthetic import make_phase_workload
 
     spec = make_phase_workload(
@@ -132,6 +141,7 @@ def phase_point(
         interleaving=interleaving,
         coalescing=coalescing,
         transport=resolve_transport(transport),
+        sched=SchedulerConfig.from_names(policy, placement),
     )
     return framework.run_workload(spec)
 
@@ -193,6 +203,8 @@ def fig10a_point(
     n_programs: int = 64,
     transport: str = "shared-memory",
     functional: bool = False,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> float:
     """Fig. 10(a): total ms at one coalescing degree (1 = coalescing off)."""
     from ..core.scenarios import run_sigma_vp
@@ -210,6 +222,8 @@ def fig10a_point(
         max_batch=max(batch, 1),
         transport=resolve_transport(transport),
         functional=functional,
+        policy=policy,
+        placement=placement,
     ).total_ms
 
 

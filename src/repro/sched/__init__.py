@@ -1,0 +1,89 @@
+"""The scheduling layer: a pluggable dispatch pipeline.
+
+The paper's Re-scheduler and Kernel Coalescing decisions used to be
+smeared across the dispatcher, the rescheduler module, and the framework
+wiring.  This package decomposes every dispatch decision into four
+explicit, independently pluggable stages (see ``docs/SCHEDULING.md``):
+
+* **admission** — which per-VP queue heads are dispatchable right now
+  (VP not in flight, not behind a coalescing barrier, dependencies met,
+  target engine has room);
+* **hold/merge** — Kernel Coalescing as a stage: merge ready groups and
+  hold coalescible jobs until their group completes or the window
+  expires;
+* **select** — the :class:`SchedulingPolicy` choosing among candidates
+  (FIFO, interleaving, SJF, fair-share, priority/deadline, or any
+  registered plugin);
+* **place** — the :class:`PlacementStrategy` binding VPs to host GPUs
+  (round-robin or least-backlog).
+
+Policies and placements live in name-keyed registries
+(:func:`register_policy` / :func:`register_placement`); every
+registered implementation is exercised by the conformance suite in
+``tests/test_sched_conformance.py``, so plugins inherit the safety net
+(no job dropped or duplicated, per-VP partial order preserved,
+determinism under a fixed seed, backlog quiesces to exactly zero).
+
+A :class:`SchedulerConfig` carries the stage choices plus the host-side
+cost constants from the CLI through the scenario farm, the framework,
+and the dispatcher.
+"""
+
+from .backlog import EngineBacklog, engine_role
+from .config import SchedulerConfig
+from .pipeline import (
+    AdmissionStage,
+    Decision,
+    HoldStage,
+    PlacementStage,
+    SchedulerPipeline,
+    SelectStage,
+)
+from .placement import (
+    LeastBacklogPlacement,
+    PlacementStrategy,
+    RoundRobinPlacement,
+)
+from .policies import (
+    FairSharePolicy,
+    FIFOPolicy,
+    InterleavingPolicy,
+    PriorityDeadlinePolicy,
+    SchedulingPolicy,
+    ShortestJobFirstPolicy,
+)
+from .registry import (
+    available_placements,
+    available_policies,
+    make_placement,
+    make_policy,
+    register_placement,
+    register_policy,
+)
+
+__all__ = [
+    "AdmissionStage",
+    "Decision",
+    "EngineBacklog",
+    "FIFOPolicy",
+    "FairSharePolicy",
+    "HoldStage",
+    "InterleavingPolicy",
+    "LeastBacklogPlacement",
+    "PlacementStage",
+    "PlacementStrategy",
+    "PriorityDeadlinePolicy",
+    "RoundRobinPlacement",
+    "SchedulerConfig",
+    "SchedulerPipeline",
+    "SchedulingPolicy",
+    "SelectStage",
+    "ShortestJobFirstPolicy",
+    "available_placements",
+    "available_policies",
+    "engine_role",
+    "make_placement",
+    "make_policy",
+    "register_placement",
+    "register_policy",
+]

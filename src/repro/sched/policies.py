@@ -1,0 +1,216 @@
+"""Scheduling policies: the *select* stage of the dispatch pipeline.
+
+"The Re-scheduler ... reorders the asynchronous kernel jobs in the Job
+Queue by keeping a partial order in the original VP.  It is a
+non-preemptive, optimal scheduler augmented for job dependencies"
+(paper Section 2).  The partial-order invariant is enforced
+structurally: policies only ever choose among each VP's *earliest*
+pending job (the dispatchable heads), so jobs of one VP can never be
+reordered against each other, while jobs of different VPs can.
+
+Every policy here is registered by name (see :mod:`repro.sched.registry`)
+and must hold the conformance invariants checked by
+``tests/test_sched_conformance.py``: pick only from the candidates it
+was given (or ``None``), deterministically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.jobs import Job, JobKind
+from .backlog import EngineBacklog
+from .config import DEFAULT_HOST_CALL_MS, DEFAULT_PROFILING_OVERHEAD_MS
+from .registry import register_policy
+
+#: Signature of the dispatcher's expected-duration oracle, attached to
+#: duration-aware policies via :meth:`SchedulingPolicy.attach`.
+ExpectedMs = Callable[[Job], float]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses the next job to dispatch among the dispatchable heads."""
+
+    name: str = "abstract"
+    description: str = ""
+
+    #: Expected-duration oracle, attached by the pipeline.  ``None``
+    #: until attached; duration-aware policies fall back to a crude
+    #: static estimate so they stay usable (and deterministic) alone.
+    _expected_ms: Optional[ExpectedMs] = None
+
+    @abc.abstractmethod
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        """Pick the next job, or None to dispatch nothing right now."""
+
+    def attach(self, expected_ms: ExpectedMs) -> None:
+        """Give the policy the dispatcher's expected-duration oracle."""
+        self._expected_ms = expected_ms
+
+    def expected_ms(self, job: Job) -> float:
+        """Expected duration of a job, via the oracle when attached."""
+        if self._expected_ms is not None:
+            return self._expected_ms(job)
+        # Static fallback: crude but deterministic, so a policy used
+        # outside a dispatcher (unit tests, conformance suite) still
+        # ranks copies by size and kernels above host calls.
+        if job.kind is JobKind.EVENT:
+            return 0.0
+        if job.kind in (JobKind.MALLOC, JobKind.FREE):
+            return DEFAULT_HOST_CALL_MS
+        if job.is_copy:
+            return job.nbytes / 1e6  # ~1 ms per MB
+        return DEFAULT_PROFILING_OVERHEAD_MS + 1.0
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__}>"
+
+
+@register_policy
+class FIFOPolicy(SchedulingPolicy):
+    """Arrival order — the unoptimized baseline (paper Fig. 3a)."""
+
+    name = "fifo"
+    description = "arrival order; the unoptimized baseline (paper Fig. 3a)"
+
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        if not dispatchable:
+            return None
+        return min(dispatchable, key=lambda job: job.job_id)
+
+
+@register_policy
+class InterleavingPolicy(SchedulingPolicy):
+    """Kernel Interleaving: keep both engines busy, rotate across VPs.
+
+    Among the dispatchable per-VP heads the policy prefers
+
+    1. jobs whose target engine has the smaller expected backlog (feed
+       the starving engine — the mechanism of paper Fig. 3b), then
+    2. the VP served least recently (fair rotation, which produces the
+       copy/kernel pipelining of Fig. 4), then
+    3. arrival order as the deterministic tie-break.
+    """
+
+    name = "interleaving"
+    description = (
+        "feed the engine with the smallest expected backlog, rotating "
+        "across VPs (paper Fig. 3b)"
+    )
+
+    def __init__(self) -> None:
+        self._last_served: Dict[str, int] = {}
+        self._serve_counter = 0
+
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        if not dispatchable:
+            return None
+
+        def rank(job: Job):
+            return (
+                backlog.for_job(job),
+                self._last_served.get(job.vp, -1),
+                job.job_id,
+            )
+
+        choice = min(dispatchable, key=rank)
+        self._serve_counter += 1
+        self._last_served[choice.vp] = self._serve_counter
+        return choice
+
+
+@register_policy
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Shortest expected job first (non-preemptive SJF).
+
+    Minimizes mean waiting time across VPs by draining cheap host calls
+    and small copies ahead of long kernels.  Long jobs cannot be starved
+    forever: a VP's later jobs only become dispatchable once its head
+    runs, and every head eventually becomes the cheapest remaining.
+    """
+
+    name = "sjf"
+    description = "shortest expected job first (minimize mean wait)"
+
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        if not dispatchable:
+            return None
+        return min(
+            dispatchable, key=lambda job: (self.expected_ms(job), job.job_id)
+        )
+
+
+@register_policy
+class FairSharePolicy(SchedulingPolicy):
+    """Deficit-round-robin fair share of dispatch time across VPs.
+
+    Every VP with a dispatchable head earns ``quantum_ms`` of credit per
+    decision round; dispatching charges the job's expected duration to
+    its VP.  The VP deepest in credit goes next, so a VP issuing long
+    kernels is throttled while ones issuing short copies catch up —
+    classic DRR applied to the ΣVP job queue.
+    """
+
+    name = "fair-share"
+    description = "deficit round-robin: balance expected GPU time across VPs"
+
+    def __init__(self, quantum_ms: float = 1.0) -> None:
+        if quantum_ms <= 0.0:
+            raise ValueError(f"quantum_ms must be > 0, got {quantum_ms}")
+        self.quantum_ms = quantum_ms
+        self._credit: Dict[str, float] = {}
+
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        if not dispatchable:
+            return None
+        for job in dispatchable:
+            self._credit[job.vp] = self._credit.get(job.vp, 0.0) + self.quantum_ms
+        choice = min(
+            dispatchable, key=lambda job: (-self._credit[job.vp], job.job_id)
+        )
+        self._credit[choice.vp] -= self.expected_ms(choice)
+        return choice
+
+
+@register_policy
+class PriorityDeadlinePolicy(SchedulingPolicy):
+    """QoS tiers with per-tier latency budgets (earliest deadline first).
+
+    Each VP maps to a tier (default: ``default_tier``); a job's deadline
+    is its submission time plus the tier's budget.  Jobs run earliest
+    deadline first, tier breaking deadline ties, so a tier-0 VP (e.g. a
+    safety-critical guest in a mixed-criticality virtual platform) keeps
+    overtaking best-effort guests until the best-effort backlog ages
+    past its longer budget — bounded starvation by construction.
+    """
+
+    name = "priority-deadline"
+    description = "QoS tiers with latency budgets, earliest deadline first"
+
+    def __init__(
+        self,
+        tiers: Optional[Mapping[str, int]] = None,
+        default_tier: int = 1,
+        budgets_ms: Sequence[float] = (1.0, 5.0, 25.0),
+    ) -> None:
+        if not budgets_ms:
+            raise ValueError("budgets_ms must name at least one tier budget")
+        self.tiers: Dict[str, int] = dict(tiers or {})
+        self.default_tier = default_tier
+        self.budgets_ms = tuple(float(b) for b in budgets_ms)
+
+    def _tier(self, vp: str) -> int:
+        tier = self.tiers.get(vp, self.default_tier)
+        return max(0, min(tier, len(self.budgets_ms) - 1))
+
+    def select(self, dispatchable: List[Job], backlog: EngineBacklog) -> Optional[Job]:
+        if not dispatchable:
+            return None
+
+        def rank(job: Job):
+            tier = self._tier(job.vp)
+            deadline = job.submitted_at_ms + self.budgets_ms[tier]
+            return (deadline, tier, job.job_id)
+
+        return min(dispatchable, key=rank)

@@ -1,0 +1,92 @@
+"""Name-keyed plugin registries for policies and placements.
+
+Replaces the hand-rolled ``make_policy`` if/else chain: implementations
+register themselves (usually via the :func:`register_policy` /
+:func:`register_placement` class decorators) and every consumer — the
+framework, the CLI's ``repro policies`` listing, the conformance suite —
+discovers them by name.  Third-party code can register additional
+policies at import time and inherits the conformance safety net for
+free (the suite iterates the registries, not a hardcoded list).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .placement import PlacementStrategy
+    from .policies import SchedulingPolicy
+
+#: Factories keyed by policy name; values are (factory, description).
+_POLICIES: Dict[str, Tuple[Callable[..., "SchedulingPolicy"], str]] = {}
+
+#: Factories keyed by placement name; values are (factory, description).
+_PLACEMENTS: Dict[str, Tuple[Callable[..., "PlacementStrategy"], str]] = {}
+
+
+def register_policy(
+    factory: Callable[..., "SchedulingPolicy"],
+    name: str | None = None,
+    description: str | None = None,
+) -> Callable[..., "SchedulingPolicy"]:
+    """Register a policy factory (usable as a class decorator).
+
+    ``name``/``description`` default to the factory's ``name`` /
+    ``description`` class attributes.  Re-registering a name replaces
+    the previous entry (last one wins), which lets tests shadow a
+    policy without mutating registry internals.
+    """
+    key = name or getattr(factory, "name", None)
+    if not key or key == "abstract":
+        raise ValueError(f"policy factory {factory!r} needs a concrete name")
+    _POLICIES[key] = (factory, description or getattr(factory, "description", ""))
+    return factory
+
+
+def register_placement(
+    factory: Callable[..., "PlacementStrategy"],
+    name: str | None = None,
+    description: str | None = None,
+) -> Callable[..., "PlacementStrategy"]:
+    """Register a placement factory (usable as a class decorator)."""
+    key = name or getattr(factory, "name", None)
+    if not key or key == "abstract":
+        raise ValueError(f"placement factory {factory!r} needs a concrete name")
+    _PLACEMENTS[key] = (
+        factory, description or getattr(factory, "description", "")
+    )
+    return factory
+
+
+def make_policy(name: str, **options: Any) -> "SchedulingPolicy":
+    """Instantiate a registered scheduling policy by name."""
+    try:
+        factory, _ = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(
+            f"unknown scheduling policy {name!r} ({known})"
+        ) from None
+    return factory(**options)
+
+
+def make_placement(name: str, **options: Any) -> "PlacementStrategy":
+    """Instantiate a registered placement strategy by name."""
+    try:
+        factory, _ = _PLACEMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLACEMENTS))
+        raise ValueError(
+            f"unknown placement strategy {name!r} ({known})"
+        ) from None
+    return factory(**options)
+
+
+def available_policies() -> List[Tuple[str, str]]:
+    """Sorted (name, one-line description) pairs of registered policies."""
+    return [(name, _POLICIES[name][1]) for name in sorted(_POLICIES)]
+
+
+def available_placements() -> List[Tuple[str, str]]:
+    """Sorted (name, one-line description) pairs of registered placements."""
+    return [(name, _PLACEMENTS[name][1]) for name in sorted(_PLACEMENTS)]
