@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the persistent on-disk artifact cache "
                              "for this invocation (equivalent to "
                              "REPRO_DISK_CACHE=0)")
+    parser.add_argument("--no-vectimes", action="store_true",
+                        help="disable vectorized batched timing and fall "
+                             "back to the scalar reference model "
+                             "(equivalent to REPRO_VECTIMES=0; results "
+                             "are bit-identical)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the workload catalog")
@@ -139,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm worker processes for the parallel mode")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset of the pinned suite")
-    bench.add_argument("-o", "--output", default="BENCH_PR3.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR6.json",
                        help="JSON report path (use '-' to skip writing)")
     bench.add_argument("--trace", action="store_true",
                        help="add a traced parallel mode and write one "
@@ -577,6 +582,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from . import cache as repro_cache
 
         repro_cache.set_disk_enabled(False)
+    if args.no_vectimes:
+        from .gpu import vectimes as _vectimes
+
+        _vectimes.set_vectimes_enabled(False)
     if args.command == "list":
         _cmd_list()
     elif args.command == "run":

@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..gpu import vectimes as _vectimes
 from ..gpu.device import HostGPU
 from ..gpu.engines import Engine
+from ..kernels.compiler import CompiledKernel
+from ..kernels.launch import LaunchConfig
 from ..kernels.functional import (
     REGISTRY,
     FunctionalRegistry,
@@ -184,7 +187,9 @@ class JobDispatcher:
 
     def _run(self):
         while True:
-            self.pipeline.hold.merge(self.queue)
+            merged = self.pipeline.hold.merge(self.queue)
+            if merged:
+                self._prewarm_merged(merged)
 
             decision = self.pipeline.decide(
                 self.queue, self._inflight, self.env.now
@@ -208,6 +213,36 @@ class JobDispatcher:
             execution = self.env.process(self._execute(job, expected))
             if self.mode is ServiceMode.SERIAL:
                 yield execution
+
+    def _prewarm_merged(self, merged: List[Job]) -> None:
+        """Batch-compute timing profiles for freshly merged kernel jobs.
+
+        Every coalescing pass mints brand-new merged :class:`KernelIR`
+        objects, so their profiles always miss the id-keyed memo and
+        would otherwise be computed one scalar walk at a time as each
+        job reaches ``_expected_ms``/``_execute``.  With vectorized
+        timing enabled we instead price the whole coalescing window's
+        misses as one array program.  Timing results are bit-identical
+        either way (the vectorized engine is digest-proven against the
+        scalar reference); this only changes *when* profiles enter the
+        cache.
+        """
+        if not _vectimes.vectimes_enabled():
+            return
+        pending: Dict[int, List[Tuple[CompiledKernel, LaunchConfig]]] = {}
+        for job in merged:
+            if not job.is_kernel or job.kernel is None or job.launch is None:
+                continue
+            gpu = self._gpu_of(job)
+            compiled = gpu.compiler.compile(job.kernel, gpu.arch)
+            if gpu.timing.profile_cached(compiled, job.launch):
+                continue
+            pending.setdefault(job.device, []).append((compiled, job.launch))
+        for device, items in pending.items():
+            # A singleton miss gains nothing from array form — leave it
+            # to the scalar path it would hit anyway.
+            if len(items) >= 2:
+                self.gpus[device].timing.execute_batch(items)
 
     def _idle_event(self, hold_deadline: Optional[float]) -> Event:
         """Event that fires when dispatching might become possible again."""

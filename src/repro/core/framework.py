@@ -218,15 +218,21 @@ class SigmaVP:
         state — engine utilizations, per-VP lifetimes, cache hit rates,
         coalescing totals — is collected into the active registry.
         """
+        from ..gpu import vectimes as _vectimes  # local: cheap either way
         from ..obs import metrics as _obs_metrics  # local: cheap either way
 
         start = self.env.now
-        if _obs_metrics.REGISTRY is None:
-            self.env.run(self.env.all_of(processes))
-        else:
-            with _obs_metrics.timed("framework.run"):
+        with _vectimes.vectimes_scope(
+            _vectimes.vectimes_enabled()
+            if self.sched.vectimes is None
+            else self.sched.vectimes
+        ):
+            if _obs_metrics.REGISTRY is None:
                 self.env.run(self.env.all_of(processes))
-            _obs_metrics.collect_framework(self)
+            else:
+                with _obs_metrics.timed("framework.run"):
+                    self.env.run(self.env.all_of(processes))
+                _obs_metrics.collect_framework(self)
         return self.env.now - start
 
     @property

@@ -37,6 +37,12 @@ whole-job-result modes) and the **batched-execution** proof (coalesced
 identical kernels dispatched as single stacked numpy calls, digest-equal
 to the per-VP fallback).  See :func:`_disk_section` and
 :func:`_batched_section`.
+
+Every bench also records a **timing** section
+(:func:`_timing_section`): the suite warm-serial with the vectorized
+batched timing engine (:mod:`repro.gpu.vectimes`) versus the scalar
+reference walk, digest-equal, with the ``exec.vectimes_*`` counters
+proving the array engine actually served launches.
 """
 
 from __future__ import annotations
@@ -434,10 +440,73 @@ def _batched_section(suite: Sequence[FarmJob] = BATCHED_SUITE) -> Dict[str, Any]
     }
 
 
+def _timing_section(
+    suite: Sequence[FarmJob], reference_digest: str
+) -> Dict[str, Any]:
+    """Timing-engine section: scalar vs. vectorized warm-serial cost.
+
+    Runs the suite warm-serial twice — vectorized batched timing on
+    (:mod:`repro.gpu.vectimes`) and off (the scalar reference walk) —
+    requires both digests bit-identical to the main modes, then reruns
+    the vectorized mode once under observability capture to prove the
+    array engine actually priced launches (non-zero
+    ``exec.vectimes_*`` counters).  The timed runs stay capture-free so
+    their wall/CPU numbers measure the timing engines, not the
+    instrumentation.
+    """
+    from ..gpu import vectimes as _vectimes
+
+    clear_all_caches()
+    with _vectimes.vectimes_scope(True):
+        vectorized = _run_mode(
+            ScenarioFarm(workers=1, warmup=True), suite, rounds=3
+        )
+    clear_all_caches()
+    with _vectimes.vectimes_scope(False):
+        scalar = _run_mode(
+            ScenarioFarm(workers=1, warmup=True), suite, rounds=3
+        )
+    clear_all_caches()
+    with _vectimes.vectimes_scope(True):
+        captured = _run_mode(
+            ScenarioFarm(workers=1, warmup=False, capture_obs=True), suite
+        )
+    for name, mode in (
+        ("vectorized", vectorized), ("scalar", scalar), ("captured", captured)
+    ):
+        if mode["digest"] != reference_digest:
+            raise BenchDigestError(
+                f"timing mode {name!r} changed simulation results: "
+                f"{mode['digest'][:12]} != {reference_digest[:12]}"
+            )
+    totals = farm_merged_metrics(captured["results"])["totals"]
+    counts = {
+        name: _counter_total(totals, f"exec.vectimes_{name}")
+        for name in ("batches", "launches", "profile_reuse", "estimates")
+    }
+    if counts["launches"] <= 0:
+        raise BenchDiskCacheError(
+            "timing section priced zero launches through the vectorized "
+            "engine"
+        )
+    return {
+        "modes": {
+            "vectorized": {k: v for k, v in vectorized.items() if k != "results"},
+            "scalar": {k: v for k, v in scalar.items() if k != "results"},
+        },
+        "counts": counts,
+        "identical_results": True,
+        "speedup": {
+            "wall": scalar["wall_s"] / vectorized["wall_s"],
+            "cpu": scalar["cpu_s"] / vectorized["cpu_s"],
+        },
+    }
+
+
 def run_bench(
     workers: int = 4,
     quick: bool = False,
-    output: Optional[Path] = Path("BENCH_PR3.json"),
+    output: Optional[Path] = Path("BENCH_PR6.json"),
     jobs: Optional[Sequence[FarmJob]] = None,
     trace: bool = False,
     overhead_guard: bool = True,
@@ -546,6 +615,8 @@ def run_bench(
             "untraced_wall_s": parallel["wall_s"],
             "ratio": traced["wall_s"] / parallel["wall_s"],
         }
+    with _cache.disk_scope(False):
+        report["timing"] = _timing_section(suite, cold_mode["digest"])
     if cold:
         report["disk_cache"] = _disk_section(
             suite, workers, cold_mode["digest"], warm["wall_s"]
@@ -601,6 +672,19 @@ def render_report(report: Dict[str, Any]) -> str:
             f"disk cache cold-start speedup: "
             f"{ratios['cold_start_speedup']:.2f}x; "
             f"job-result layer: {ratios['job_warm_speedup']:.0f}x"
+        )
+    timing = report.get("timing")
+    if timing:
+        t_modes = timing["modes"]
+        t_counts = timing["counts"]
+        lines.append(
+            f"timing engine (warm serial): scalar "
+            f"{t_modes['scalar']['cpu_s']:.2f}s CPU -> vectorized "
+            f"{t_modes['vectorized']['cpu_s']:.2f}s CPU "
+            f"({timing['speedup']['cpu']:.2f}x); "
+            f"{t_counts['launches']} launches in {t_counts['batches']} "
+            f"batches, {t_counts['profile_reuse']} profile reuses; "
+            f"digests identical: {timing['identical_results']}"
         )
     batched = report.get("batched_execution")
     if batched:

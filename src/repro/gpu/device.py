@@ -9,8 +9,8 @@ report, which the time/power estimation layer consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -96,7 +96,9 @@ class HostGPU:
     def malloc(self, size: int, owner: str = "") -> DeviceBuffer:
         return self.memory.allocate(size, owner=owner)
 
-    def malloc_contiguous(self, sizes, owner: str = "") -> List[DeviceBuffer]:
+    def malloc_contiguous(
+        self, sizes: Sequence[int], owner: str = ""
+    ) -> List[DeviceBuffer]:
         return self.memory.allocate_contiguous(sizes, owner=owner)
 
     def free(self, buffer: DeviceBuffer) -> None:

@@ -14,7 +14,7 @@ and verify overlap (the mechanism behind Fig. 3's before/after diagrams).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..obs import metrics as _obs_metrics
 from ..obs import tracer as _obs_trace
@@ -90,7 +90,7 @@ class Engine:
         self._queue.put(op)
         return op
 
-    def _serve(self):
+    def _serve(self) -> Generator[Event, Any, None]:
         while True:
             op: EngineOp = yield self._queue.get()
             start = self.env.now
@@ -125,7 +125,7 @@ class Engine:
 
     def idle_gaps(self) -> List[Tuple[float, float]]:
         """(start, end) idle windows between completed operations."""
-        gaps = []
+        gaps: List[Tuple[float, float]] = []
         cursor = 0.0
         for entry in sorted(self.timeline, key=lambda e: e.start_ms):
             if entry.start_ms > cursor:

@@ -11,7 +11,7 @@ between virtual platforms on the host GPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Generator, Optional
 
 from ..sim import Environment, Event, Store
 from .engines import Engine
@@ -86,7 +86,7 @@ class GPUStream:
             return done
         return self._last_completion
 
-    def _pump(self):
+    def _pump(self) -> Generator[Event, Any, None]:
         while True:
             command: StreamCommand = yield self._commands.get()
             op = command.engine.submit(

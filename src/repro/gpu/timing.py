@@ -33,15 +33,16 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import cache as _disk_cache
 from ..caching import caches_enabled
 from ..kernels.compiler import CompiledKernel
 from ..obs import metrics as _obs_metrics
-from ..kernels.ir import ALL_TYPES, InstructionType, MEMORY_TYPES
+from ..kernels.ir import ALL_TYPES, InstructionMix, InstructionType, MEMORY_TYPES
 from ..kernels.launch import LaunchConfig
 from . import cache as cache_model
+from . import vectimes as _vectimes
 from .arch import GPUArchitecture
 
 #: Fraction of ideal issue cycles lost to miscellaneous (non-data) stalls:
@@ -95,11 +96,17 @@ class ExecutionProfile:
         return (self.data_stall_cycles + self.other_stall_cycles) / self.elapsed_cycles
 
     def stall_breakdown(self) -> Dict[str, float]:
-        """Percentages of elapsed cycles per stall reason."""
-        total = self.elapsed_cycles or 1.0
+        """Percentages of elapsed cycles per stall reason.
+
+        A degenerate launch (zero or negative elapsed cycles) reports 0%
+        for every reason — the same guard :attr:`stall_fraction` applies,
+        so the two views can never disagree about whether stalls exist.
+        """
+        if self.elapsed_cycles <= 0:
+            return {"data_dependency": 0.0, "other": 0.0}
         return {
-            "data_dependency": 100.0 * self.data_stall_cycles / total,
-            "other": 100.0 * self.other_stall_cycles / total,
+            "data_dependency": 100.0 * self.data_stall_cycles / self.elapsed_cycles,
+            "other": 100.0 * self.other_stall_cycles / self.elapsed_cycles,
         }
 
 
@@ -132,6 +139,13 @@ class KernelTimingModel:
         self._profile_cache: "OrderedDict[Tuple[int, LaunchConfig], Tuple[CompiledKernel, ExecutionProfile]]" = (
             OrderedDict()
         )
+        # Content-addressed second tier, keyed by the same encoded key the
+        # disk cache proves digest-safe.  The coalescer mints fresh merged
+        # KernelIR objects every round, so the id-keyed first tier misses
+        # on structurally-identical launches; this tier catches them.
+        # Only consulted while vectorized timing is enabled, so disabling
+        # vectimes restores the exact legacy lookup behavior.
+        self._content_cache: "OrderedDict[str, ExecutionProfile]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -140,6 +154,7 @@ class KernelTimingModel:
 
     def clear_cache(self) -> None:
         self._profile_cache.clear()
+        self._content_cache.clear()
 
     # -- component models ------------------------------------------------
 
@@ -156,7 +171,9 @@ class KernelTimingModel:
         per_thread = compiled.per_thread_mix(launch.context())
         return self._issue_cycles_from_mix(per_thread, launch)
 
-    def _issue_cycles_from_mix(self, per_thread, launch: LaunchConfig) -> float:
+    def _issue_cycles_from_mix(
+        self, per_thread: InstructionMix, launch: LaunchConfig
+    ) -> float:
         arch = self.arch
         warps_per_block = max(1, math.ceil(launch.block_size / arch.warp_size))
         wave_quantum = arch.concurrent_blocks(launch.block_size)
@@ -175,35 +192,41 @@ class KernelTimingModel:
 
     def memory_cycles(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
         """Cycles to move the launch's DRAM traffic at peak bandwidth."""
-        accesses = self._memory_accesses(compiled, launch)
+        per_thread = compiled.per_thread_mix(launch.context())
+        accesses = _accesses_from_mix(per_thread, launch.threads)
         return cache_model.memory_throughput_cycles(
             self.arch, compiled.ir.footprint, accesses
         )
 
     def data_stall_cycles(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
-        """Upsilon[data]{K,H}: data-dependency stalls (latency + bandwidth)."""
-        accesses = self._memory_accesses(compiled, launch)
+        """Upsilon[data]{K,H}: data-dependency stalls (latency + bandwidth).
+
+        The per-thread mix is folded once and feeds both the access count
+        and the issue-cycle input, the same sharing ``_compute_profile``
+        does — the public component methods no longer re-derive it per
+        sub-model.
+        """
+        per_thread = compiled.per_thread_mix(launch.context())
+        accesses = _accesses_from_mix(per_thread, launch.threads)
+        issue = self._issue_cycles_from_mix(per_thread, launch)
         return cache_model.data_stall_cycles(
             self.arch,
             compiled.ir.footprint,
             accesses,
             launch.block_size,
             launch.grid_size,
-            self.issue_cycles(compiled, launch),
+            issue,
         )
 
     # -- the full execution ----------------------------------------------
 
     def execute(self, compiled: CompiledKernel, launch: LaunchConfig) -> ExecutionProfile:
         """Model one launch and return its (memoized) execution profile."""
-        if compiled.arch is not self.arch and compiled.arch.name != self.arch.name:
-            raise ValueError(
-                f"kernel compiled for {compiled.arch.name!r} cannot execute "
-                f"on {self.arch.name!r}"
-            )
+        self._check_arch(compiled)
         key = (id(compiled), launch)
         registry = _obs_metrics.REGISTRY
-        if caches_enabled():
+        memo_on = caches_enabled()
+        if memo_on:
             entry = self._profile_cache.get(key)
             if entry is not None and entry[0] is compiled:
                 self.cache_hits += 1
@@ -214,28 +237,144 @@ class KernelTimingModel:
         self.cache_misses += 1
         if registry is not None:
             registry.counter("cache.profile.misses").inc()
-        profile = None
-        store = _disk_cache.disk_cache()
-        disk_key = None
-        if store is not None:
-            # The profile is a pure function of the encoded content key,
-            # so a stored entry is bit-identical to recomputation; any
-            # unusable payload (wrong type, truncation already handled
-            # below the store) falls through to a recompute.
-            disk_key = _disk_cache.profile_key(compiled, launch)
-            cached_profile = store.get(disk_key)
-            if isinstance(cached_profile, ExecutionProfile):
-                profile = cached_profile
-        from_disk = profile is not None
+        profile, content_key, store = self._miss_lookup(compiled, launch, memo_on)
+        computed = profile is None
         if profile is None:
             profile = self._compute_profile(compiled, launch)
-        if store is not None and not from_disk:
-            store.put(disk_key, profile)
-        if caches_enabled():
-            self._profile_cache[key] = (compiled, profile)
-            if len(self._profile_cache) > self.profile_cache_size:
-                self._profile_cache.popitem(last=False)
+        if store is not None and content_key is not None and computed:
+            store.put(content_key, profile)
+        self._remember(key, compiled, profile, content_key, memo_on)
         return profile
+
+    def execute_batch(
+        self, items: Sequence[Tuple[CompiledKernel, LaunchConfig]]
+    ) -> List[ExecutionProfile]:
+        """Profiles for N launches, timing the memo misses as one batch.
+
+        Lookup tiers, counters, and stored artifacts mirror calling
+        :meth:`execute` item by item; with vectorized timing enabled, the
+        profiles no cache can serve are computed by a single
+        :func:`repro.gpu.vectimes.compute_profiles` array pass instead of
+        N scalar walks.  With it disabled this *is* an ``execute`` loop —
+        the scalar reference path behind the common interface.
+        """
+        if not _vectimes.vectimes_enabled():
+            return [self.execute(compiled, launch) for compiled, launch in items]
+        results: List[Optional[ExecutionProfile]] = [None] * len(items)
+        pending: "OrderedDict[Tuple[int, LaunchConfig], List[int]]" = OrderedDict()
+        pending_keys: Dict[Tuple[int, LaunchConfig], Optional[str]] = {}
+        registry = _obs_metrics.REGISTRY
+        memo_on = caches_enabled()
+        for i, (compiled, launch) in enumerate(items):
+            self._check_arch(compiled)
+            key = (id(compiled), launch)
+            if memo_on:
+                entry = self._profile_cache.get(key)
+                if entry is not None and entry[0] is compiled:
+                    self.cache_hits += 1
+                    if registry is not None:
+                        registry.counter("cache.profile.hits").inc()
+                    self._profile_cache.move_to_end(key)
+                    results[i] = entry[1]
+                    continue
+            self.cache_misses += 1
+            if registry is not None:
+                registry.counter("cache.profile.misses").inc()
+            slot = pending.get(key)
+            if slot is not None and items[slot[0]][0] is compiled:
+                # Duplicate within the batch: one compute serves both.
+                slot.append(i)
+                continue
+            profile, content_key, store = self._miss_lookup(compiled, launch, memo_on)
+            if profile is not None:
+                self._remember(key, compiled, profile, content_key, memo_on)
+                results[i] = profile
+                continue
+            pending[key] = [i]
+            pending_keys[key] = content_key
+        if pending:
+            batch = [
+                (items[slots[0]][0], items[slots[0]][1])
+                for slots in pending.values()
+            ]
+            profiles = _vectimes.compute_profiles(self.arch, batch)
+            store = _disk_cache.disk_cache()
+            for (key, slots), profile in zip(pending.items(), profiles):
+                compiled = items[slots[0]][0]
+                content_key = pending_keys[key]
+                if store is not None and content_key is not None:
+                    store.put(content_key, profile)
+                self._remember(key, compiled, profile, content_key, memo_on)
+                for i in slots:
+                    results[i] = profile
+        out: List[ExecutionProfile] = []
+        for profile_out in results:
+            assert profile_out is not None
+            out.append(profile_out)
+        return out
+
+    def profile_cached(self, compiled: CompiledKernel, launch: LaunchConfig) -> bool:
+        """Whether the id-keyed memo holds this launch (a silent peek)."""
+        entry = self._profile_cache.get((id(compiled), launch))
+        return entry is not None and entry[0] is compiled
+
+    # -- lookup tiers ------------------------------------------------------
+
+    def _check_arch(self, compiled: CompiledKernel) -> None:
+        if compiled.arch is not self.arch and compiled.arch.name != self.arch.name:
+            raise ValueError(
+                f"kernel compiled for {compiled.arch.name!r} cannot execute "
+                f"on {self.arch.name!r}"
+            )
+
+    def _miss_lookup(
+        self, compiled: CompiledKernel, launch: LaunchConfig, memo_on: bool
+    ) -> Tuple[
+        Optional[ExecutionProfile], Optional[str], Optional[_disk_cache.DiskCache]
+    ]:
+        """Content-memo and disk probes shared by execute/execute_batch.
+
+        The profile is a pure function of the encoded content key, so a
+        stored entry (in either tier) is bit-identical to recomputation;
+        any unusable disk payload falls through to a recompute.  Returns
+        ``(profile or None, content key or None, disk store)``.
+        """
+        store = _disk_cache.disk_cache()
+        use_content = memo_on and _vectimes.vectimes_enabled()
+        content_key: Optional[str] = None
+        if use_content or store is not None:
+            content_key = _disk_cache.profile_key(compiled, launch)
+        if use_content and content_key is not None:
+            cached = self._content_cache.get(content_key)
+            if cached is not None:
+                self._content_cache.move_to_end(content_key)
+                registry = _obs_metrics.REGISTRY
+                if registry is not None:
+                    registry.counter("exec.vectimes_profile_reuse").inc()
+                return cached, content_key, store
+        if store is not None and content_key is not None:
+            payload = store.get(content_key)
+            if isinstance(payload, ExecutionProfile):
+                return payload, content_key, store
+        return None, content_key, store
+
+    def _remember(
+        self,
+        key: Tuple[int, LaunchConfig],
+        compiled: CompiledKernel,
+        profile: ExecutionProfile,
+        content_key: Optional[str],
+        memo_on: bool,
+    ) -> None:
+        if not memo_on:
+            return
+        self._profile_cache[key] = (compiled, profile)
+        if len(self._profile_cache) > self.profile_cache_size:
+            self._profile_cache.popitem(last=False)
+        if content_key is not None and _vectimes.vectimes_enabled():
+            self._content_cache[content_key] = profile
+            if len(self._content_cache) > self.profile_cache_size:
+                self._content_cache.popitem(last=False)
 
     def _compute_profile(
         self, compiled: CompiledKernel, launch: LaunchConfig
@@ -252,7 +391,7 @@ class KernelTimingModel:
         per_thread = compiled.per_thread_mix(launch.context())
         threads = launch.threads
         sigma = {t: per_thread[t] * threads for t in ALL_TYPES}
-        accesses = sum(per_thread[t] for t in MEMORY_TYPES) * threads
+        accesses = _accesses_from_mix(per_thread, threads)
         issue = self._issue_cycles_from_mix(per_thread, launch)
         memory = cache_model.memory_throughput_cycles(
             arch, compiled.ir.footprint, accesses
@@ -313,10 +452,17 @@ class KernelTimingModel:
 
     def _memory_accesses(self, compiled: CompiledKernel, launch: LaunchConfig) -> float:
         per_thread = compiled.per_thread_mix(launch.context())
-        return sum(per_thread[t] for t in MEMORY_TYPES) * launch.threads
+        return _accesses_from_mix(per_thread, launch.threads)
 
-    def _cache_behavior(self, compiled: CompiledKernel, launch: LaunchConfig):
+    def _cache_behavior(
+        self, compiled: CompiledKernel, launch: LaunchConfig
+    ) -> cache_model.CacheBehavior:
         accesses = self._memory_accesses(compiled, launch)
         return cache_model.predict_behavior(
             compiled.ir.footprint, self.arch.cache, accesses
         )
+
+
+def _accesses_from_mix(per_thread: InstructionMix, threads: int) -> float:
+    """Total memory accesses of a launch from its per-thread mix."""
+    return sum(per_thread[t] for t in MEMORY_TYPES) * threads

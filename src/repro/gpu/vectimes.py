@@ -1,0 +1,493 @@
+"""Vectorized batched timing & estimation engine.
+
+The reference models in :mod:`repro.gpu.timing`, :mod:`repro.gpu.cache`,
+and :mod:`repro.core.estimation` evaluate the paper's cost model — the
+Eq. (1) instruction-mix fold, the Eq. (9) wave-quantized issue model, the
+probabilistic cache model, and the Eq. (2)-(6) estimators — once per
+launch in pure Python.  This module lowers compiled-kernel mixes, launch
+geometries, and architecture parameters into packed numpy arrays and
+computes **N launches in one set of array ops**.
+
+Bit-identical by construction
+-----------------------------
+The vectorized path is required to produce the *same floats* as the
+scalar reference (pinned scenario digests depend on it), so every formula
+here replays the scalar evaluation order exactly:
+
+* **Left-fold accumulation.**  Python's ``sum()`` and the
+  ``InstructionMix.combined`` chain are left folds starting from zero;
+  the array twins accumulate ``acc = acc + column`` in the same order
+  instead of using ``np.dot``/``np.sum`` (whose pairwise summation
+  associates differently).
+* **Integer geometry in int64.**  Grid/block arithmetic (``//``,
+  ``min``/``max``, ceiling division) happens in int64 and converts to
+  float64 only where the scalar code promotes int to float; conversion
+  is exact below 2**53.  ``-(-a // b)`` equals ``math.ceil(a / b)`` for
+  the magnitudes the models see (products stay far below 2**52, where
+  float division cannot cross an integer boundary).
+* **Scalar constants stay Python floats.**  Derived constants such as
+  ``bytes_per_cycle`` are computed by the same Python expressions the
+  scalar model uses, then broadcast — never re-derived in numpy.
+* **Per-kernel cache probability.**  ``cache_model.hit_probability`` is
+  evaluated once per kernel group by calling the scalar function itself.
+* **Materialization through builtins.**  Results are converted with
+  ``float()``/``int()`` so no ``np.float64`` leaks into downstream
+  arithmetic or the canonical-JSON digests.
+
+The scalar implementations remain the reference; the property-based
+conformance suite (``tests/test_vectimes_conformance.py``) asserts exact
+equality between the two paths.
+
+Toggling
+--------
+Vectorized timing is on by default.  It can be disabled through the
+``REPRO_VECTIMES`` environment variable (``0``/``false``), the
+``--no-vectimes`` CLI flag, ``SchedulerConfig(vectimes=False)``, or the
+:func:`vectimes_scope` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..caching import register_cache_clearer
+from ..kernels.compiler import CompiledKernel
+from ..kernels.ir import ALL_TYPES, InstructionType, LaunchContext, MemoryFootprint
+from ..kernels.launch import LaunchConfig
+from ..obs import metrics as _obs_metrics
+from . import cache as cache_model
+from .arch import GPUArchitecture
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .timing import ExecutionProfile
+
+#: Environment switch for the vectorized timing path (default: enabled).
+VECTIMES_ENV_VAR = "REPRO_VECTIMES"
+
+#: Column indices of the memory-access types in the Eq. (1) ordering.
+_LOAD_COL = ALL_TYPES.index(InstructionType.LOAD)
+_STORE_COL = ALL_TYPES.index(InstructionType.STORE)
+
+
+def vectimes_from_env() -> bool:
+    """Whether ``REPRO_VECTIMES`` leaves the vectorized path enabled."""
+    return os.environ.get(VECTIMES_ENV_VAR, "1").lower() not in ("0", "", "false")
+
+
+_ENABLED: bool = vectimes_from_env()
+
+
+def vectimes_enabled() -> bool:
+    """Whether batch call sites route through the vectorized engine."""
+    return _ENABLED
+
+
+def set_vectimes_enabled(enabled: bool) -> bool:
+    """Switch the vectorized path on/off; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def vectimes_scope(enabled: bool) -> Iterator[None]:
+    """Temporarily force the vectorized path on or off."""
+    previous = set_vectimes_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_vectimes_enabled(previous)
+
+
+# ---------------------------------------------------------------------------
+# Packed parameter caches
+# ---------------------------------------------------------------------------
+
+
+class _ArchPack:
+    """One architecture's model parameters, packed for array evaluation."""
+
+    __slots__ = (
+        "arch",
+        "warp_tau",
+        "device_tau",
+        "energy_nj",
+        "sm_count",
+        "schedulers_per_sm",
+        "schedulers_total",
+        "warp_size",
+        "max_threads_per_sm",
+        "max_blocks_per_sm",
+        "concurrent_threads",
+        "clock_khz",
+        "line_bytes",
+        "miss_penalty_cycles",
+        "bytes_per_cycle",
+    )
+
+    def __init__(self, arch: GPUArchitecture) -> None:
+        self.arch = arch
+        self.warp_tau = np.array(
+            [arch.warp_issue_cycles[t] for t in ALL_TYPES], dtype=np.float64
+        )
+        self.device_tau = np.array(
+            [arch.device_issue_cycles(t) for t in ALL_TYPES], dtype=np.float64
+        )
+        self.energy_nj = np.array(
+            [arch.instruction_energy_nj[t] for t in ALL_TYPES], dtype=np.float64
+        )
+        self.sm_count = arch.sm_count
+        self.schedulers_per_sm = arch.schedulers_per_sm
+        self.schedulers_total = arch.sm_count * arch.schedulers_per_sm
+        self.warp_size = arch.warp_size
+        self.max_threads_per_sm = arch.max_threads_per_sm
+        self.max_blocks_per_sm = arch.max_blocks_per_sm
+        self.concurrent_threads = arch.concurrent_threads
+        # Python-float scalars, derived by the same expressions the scalar
+        # model evaluates (not re-derived in numpy).
+        self.clock_khz = arch.clock_khz
+        self.line_bytes = arch.cache.line_bytes
+        self.miss_penalty_cycles = arch.cache.miss_penalty_cycles
+        self.bytes_per_cycle = arch.memory_bandwidth_gbps / arch.clock_mhz * 1e3
+
+
+class _KernelPack:
+    """One compiled kernel's static per-block mixes as a (B, 7) matrix."""
+
+    __slots__ = ("compiled", "mix_matrix")
+
+    def __init__(self, compiled: CompiledKernel) -> None:
+        self.compiled = compiled
+        self.mix_matrix = np.array(
+            [[block.mix[t] for t in ALL_TYPES] for block in compiled.blocks],
+            dtype=np.float64,
+        )
+
+
+#: Bound on the pack memos; each entry keeps a strong reference to its
+#: source object, so ids cannot be recycled while an entry lives, and a
+#: hit additionally verifies the stored object *is* the requested one.
+_ARCH_PACK_LIMIT = 64
+_KERNEL_PACK_LIMIT = 4096
+
+_ARCH_PACKS: "OrderedDict[int, _ArchPack]" = OrderedDict()
+_KERNEL_PACKS: "OrderedDict[int, _KernelPack]" = OrderedDict()
+
+
+def _arch_pack(arch: GPUArchitecture) -> _ArchPack:
+    key = id(arch)
+    pack = _ARCH_PACKS.get(key)
+    if pack is not None and pack.arch is arch:
+        _ARCH_PACKS.move_to_end(key)
+        return pack
+    pack = _ArchPack(arch)
+    _ARCH_PACKS[key] = pack
+    if len(_ARCH_PACKS) > _ARCH_PACK_LIMIT:
+        _ARCH_PACKS.popitem(last=False)
+    return pack
+
+
+def _kernel_pack(compiled: CompiledKernel) -> _KernelPack:
+    key = id(compiled)
+    pack = _KERNEL_PACKS.get(key)
+    if pack is not None and pack.compiled is compiled:
+        _KERNEL_PACKS.move_to_end(key)
+        return pack
+    pack = _KernelPack(compiled)
+    _KERNEL_PACKS[key] = pack
+    if len(_KERNEL_PACKS) > _KERNEL_PACK_LIMIT:
+        _KERNEL_PACKS.popitem(last=False)
+    return pack
+
+
+def clear_packs() -> None:
+    """Drop the packed-parameter memos (registered with the cache layer)."""
+    _ARCH_PACKS.clear()
+    _KERNEL_PACKS.clear()
+
+
+register_cache_clearer(clear_packs)
+
+
+# ---------------------------------------------------------------------------
+# Array kernels (each the exact twin of one scalar formula)
+# ---------------------------------------------------------------------------
+
+
+def _ceil_div(numerator: np.ndarray, denominator: "np.ndarray | int") -> np.ndarray:
+    """Int64 ceiling division; equals ``math.ceil(a / b)`` in-range."""
+    return -(-numerator // denominator)
+
+
+def _fold(matrix: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Left fold of ``sum(matrix[:, j] * coefficients[j])`` over columns.
+
+    Mirrors the scalar generator-``sum()`` exactly: accumulate one term
+    at a time, left to right, starting from zero.
+    """
+    acc = np.zeros(matrix.shape[0], dtype=np.float64)
+    for j in range(matrix.shape[1]):
+        acc = acc + matrix[:, j] * float(coefficients[j])
+    return acc
+
+
+def column_sum(matrix: np.ndarray) -> np.ndarray:
+    """Left fold of ``sum(matrix[:, j])`` over columns (no coefficients)."""
+    acc = np.zeros(matrix.shape[0], dtype=np.float64)
+    for j in range(matrix.shape[1]):
+        acc = acc + matrix[:, j]
+    return acc
+
+
+def per_thread_matrix(
+    compiled: CompiledKernel, ctxs: Sequence[LaunchContext]
+) -> np.ndarray:
+    """Per-thread dynamic mixes for N launch contexts as an (N, 7) array.
+
+    Twin of ``CompiledKernel.per_thread_mix``: a left fold of
+    ``mix[b] * trips[b]`` over program blocks, with trip counts evaluated
+    by the blocks' own ``trip_count`` (constant trips are broadcast; rule
+    trips are evaluated per context, preserving their validation).
+    """
+    n = len(ctxs)
+    pack = _kernel_pack(compiled)
+    n_blocks = len(compiled.blocks)
+    if n == 0:
+        return np.zeros((0, len(ALL_TYPES)), dtype=np.float64)
+    trips = np.empty((n, n_blocks), dtype=np.float64)
+    for b, block in enumerate(compiled.blocks):
+        source = block.source
+        if callable(source.trips):
+            column = trips[:, b]
+            for i, ctx in enumerate(ctxs):
+                column[i] = source.trip_count(ctx)
+        else:
+            trips[:, b] = source.trip_count(ctxs[0])
+    acc = np.zeros((n, len(ALL_TYPES)), dtype=np.float64)
+    mix = pack.mix_matrix
+    for b in range(n_blocks):
+        acc = acc + mix[b][None, :] * trips[:, b][:, None]
+    return acc
+
+
+def sigma_matrix(
+    compiled: CompiledKernel, launches: Sequence[LaunchConfig]
+) -> np.ndarray:
+    """Eq. (1) total dynamic counts sigma{K_i,A} as an (N, 7) array."""
+    n = len(launches)
+    per_thread = per_thread_matrix(compiled, [l.context() for l in launches])
+    threads = np.fromiter(
+        (l.threads for l in launches), dtype=np.int64, count=n
+    ).astype(np.float64)
+    return per_thread * threads[:, None]
+
+
+def _per_sm_blocks(pack: _ArchPack, block: np.ndarray) -> np.ndarray:
+    """Twin of the per-SM block residency term of ``concurrent_blocks``."""
+    return np.minimum(
+        pack.max_blocks_per_sm,
+        np.maximum(1, pack.max_threads_per_sm // block),
+    )
+
+
+def _issue_cycles(
+    pack: _ArchPack, per_thread: np.ndarray, grid: np.ndarray, block: np.ndarray
+) -> np.ndarray:
+    """Twin of ``KernelTimingModel._issue_cycles_from_mix`` (Eq. 9)."""
+    warps_per_block = np.maximum(1, _ceil_div(block, pack.warp_size))
+    wave_quantum = pack.sm_count * _per_sm_blocks(pack, block)
+    blocks_per_sm_per_wave = np.maximum(1, wave_quantum // pack.sm_count)
+    waves = _ceil_div(grid, wave_quantum)
+    warp_cycles = _fold(per_thread, pack.warp_tau)
+    product = waves * blocks_per_sm_per_wave * warps_per_block
+    return (
+        product.astype(np.float64)
+        * warp_cycles
+        / float(pack.schedulers_per_sm)
+    )
+
+
+def _data_stall_arrays(
+    pack: _ArchPack,
+    p: "np.ndarray | float",
+    accesses: np.ndarray,
+    block: np.ndarray,
+    grid: np.ndarray,
+    issue_cycles: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Twins of the ``cache_model`` stall helpers for N launches.
+
+    Returns ``(data_stalls, throughput, hits, misses)`` — the data-stall
+    model's full Upsilon[data] plus the DRAM-throughput cycles and the
+    predicted hit/miss counts, matching ``data_stall_cycles``,
+    ``memory_throughput_cycles``, and ``predict_behavior``.
+    """
+    hits = accesses * p
+    misses = accesses - hits
+    # latency_hiding_fraction
+    resident_blocks_per_sm = _per_sm_blocks(pack, block)
+    resident_blocks_per_sm = np.minimum(
+        resident_blocks_per_sm, np.maximum(1, _ceil_div(grid, pack.sm_count))
+    )
+    resident_warps = resident_blocks_per_sm * np.maximum(
+        1, block // pack.warp_size
+    )
+    warps_per_scheduler = resident_warps.astype(np.float64) / float(
+        pack.schedulers_per_sm
+    )
+    hiding = np.minimum(
+        cache_model.MAX_HIDING,
+        warps_per_scheduler / cache_model.HIDING_SATURATION_WARPS,
+    )
+    # exposed_stall_cycles
+    misses_per_scheduler = misses / float(pack.schedulers_total)
+    exposed = (
+        misses_per_scheduler * pack.miss_penalty_cycles * (1.0 - hiding)
+    )
+    # memory_throughput_cycles
+    throughput = (misses * pack.line_bytes) / pack.bytes_per_cycle
+    # data_stall_cycles
+    bandwidth = np.maximum(
+        0.0, throughput - cache_model.BANDWIDTH_OVERLAP * issue_cycles
+    )
+    data_stalls = np.maximum(exposed, bandwidth)
+    return data_stalls, throughput, hits, misses
+
+
+def ideal_cycles_array(arch: GPUArchitecture, sigma: np.ndarray) -> np.ndarray:
+    """Eq. (3) ideal cycles C^P for N launches (twin of ``ideal_cycles``)."""
+    return _fold(sigma, _arch_pack(arch).device_tau)
+
+
+def predicted_data_stalls_array(
+    arch: GPUArchitecture,
+    footprint: MemoryFootprint,
+    sigma: np.ndarray,
+    block: np.ndarray,
+    grid: np.ndarray,
+    issue_cycles: np.ndarray,
+) -> np.ndarray:
+    """Twin of ``ExecutionAnalyzer.predicted_data_stalls`` for N launches.
+
+    Note the access count here is ``sigma[Ld] + sigma[St]`` (sums of the
+    already-scaled totals) — the estimator's evaluation order, distinct
+    from the profile path's ``(per_thread[Ld] + per_thread[St]) * threads``.
+    """
+    pack = _arch_pack(arch)
+    accesses = sigma[:, _LOAD_COL] + sigma[:, _STORE_COL]
+    p = cache_model.hit_probability(footprint, arch.cache)
+    data_stalls, _, _, _ = _data_stall_arrays(
+        pack, p, accesses, block, grid, issue_cycles
+    )
+    return data_stalls
+
+
+# ---------------------------------------------------------------------------
+# The batched profile engine
+# ---------------------------------------------------------------------------
+
+
+def compute_profiles(
+    arch: GPUArchitecture,
+    items: Sequence[Tuple[CompiledKernel, LaunchConfig]],
+) -> "List[ExecutionProfile]":
+    """Execution profiles for N ``(compiled, launch)`` pairs in one pass.
+
+    Bit-identical twin of ``KernelTimingModel._compute_profile`` applied
+    to every item: mixes are folded per kernel group, geometry runs in
+    one int64/float64 array program over the whole batch, and the cache
+    probability is the scalar model's own value per kernel.
+    """
+    from .timing import (
+        OTHER_STALL_FRACTION,
+        PIPELINE_RAMP_CYCLES,
+        ExecutionProfile,
+    )
+
+    n = len(items)
+    if n == 0:
+        return []
+    pack = _arch_pack(arch)
+    grid = np.fromiter(
+        (launch.grid_size for _, launch in items), dtype=np.int64, count=n
+    )
+    block = np.fromiter(
+        (launch.block_size for _, launch in items), dtype=np.int64, count=n
+    )
+    threads_f = (grid * block).astype(np.float64)
+
+    per_thread = np.empty((n, len(ALL_TYPES)), dtype=np.float64)
+    p_arr = np.empty(n, dtype=np.float64)
+    groups: "OrderedDict[int, List[int]]" = OrderedDict()
+    for i, (compiled, _) in enumerate(items):
+        groups.setdefault(id(compiled), []).append(i)
+    for indices in groups.values():
+        compiled = items[indices[0]][0]
+        ctxs = [items[i][1].context() for i in indices]
+        index = np.asarray(indices, dtype=np.intp)
+        per_thread[index] = per_thread_matrix(compiled, ctxs)
+        p_arr[index] = cache_model.hit_probability(
+            compiled.ir.footprint, arch.cache
+        )
+
+    sigma = per_thread * threads_f[:, None]
+    accesses = (per_thread[:, _LOAD_COL] + per_thread[:, _STORE_COL]) * threads_f
+    issue = _issue_cycles(pack, per_thread, grid, block)
+    data_stalls, throughput, hits, misses = _data_stall_arrays(
+        pack, p_arr, accesses, block, grid, issue
+    )
+    other_stalls = OTHER_STALL_FRACTION * issue + PIPELINE_RAMP_CYCLES
+    elapsed = issue + data_stalls + other_stalls
+    time_ms = elapsed / pack.clock_khz
+
+    concurrent = pack.sm_count * _per_sm_blocks(pack, block)
+    waves = np.maximum(1, _ceil_div(grid, concurrent))
+    resident_blocks = np.minimum(grid, concurrent)
+    occupancy = np.minimum(
+        1.0,
+        (resident_blocks * block).astype(np.float64)
+        / float(pack.concurrent_threads),
+    )
+
+    profiles: "List[ExecutionProfile]" = []
+    for i, (compiled, launch) in enumerate(items):
+        sigma_i: Dict[InstructionType, float] = {
+            t: float(sigma[i, j]) for j, t in enumerate(ALL_TYPES)
+        }
+        profiles.append(
+            ExecutionProfile(
+                kernel_name=compiled.name,
+                arch_name=arch.name,
+                launch=launch,
+                sigma=sigma_i,
+                issue_cycles=float(issue[i]),
+                memory_cycles=float(throughput[i]),
+                data_stall_cycles=float(data_stalls[i]),
+                other_stall_cycles=float(other_stalls[i]),
+                elapsed_cycles=float(elapsed[i]),
+                time_ms=float(time_ms[i]),
+                cache_hits=float(hits[i]),
+                cache_misses=float(misses[i]),
+                cache_hit_probability=float(p_arr[i]),
+                waves=int(waves[i]),
+                occupancy=float(occupancy[i]),
+            )
+        )
+    registry = _obs_metrics.REGISTRY
+    if registry is not None:
+        registry.counter("exec.vectimes_batches").inc()
+        registry.counter("exec.vectimes_launches").inc(n)
+    return profiles

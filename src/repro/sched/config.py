@@ -59,6 +59,11 @@ class SchedulerConfig:
     #: Turn backlog-accounting mismatches into hard assertion errors
     #: (also switchable globally via ``REPRO_SCHED_DEBUG=1``).
     debug: bool = False
+    #: Vectorized batched timing (:mod:`repro.gpu.vectimes`): ``True``
+    #: forces it on, ``False`` forces it off for this run, ``None``
+    #: inherits the process-wide setting (``REPRO_VECTIMES`` env var,
+    #: default on).  Timing results are bit-identical either way.
+    vectimes: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.host_call_ms < 0.0:

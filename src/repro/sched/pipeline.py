@@ -41,7 +41,7 @@ class Coalescer(Protocol):
     """The queue-scan surface the hold/merge stage needs (duck-typed to
     :class:`repro.core.coalescing.KernelCoalescer`)."""
 
-    def coalesce_pass(self, queue: JobQueue) -> int: ...
+    def coalesce_pass(self, queue: JobQueue) -> List[Job]: ...
 
     def hold_deadline(self, queue: JobQueue, job: Job) -> Optional[float]: ...
 
@@ -91,10 +91,16 @@ class HoldStage:
     def __init__(self, coalescer: Optional[Coalescer]) -> None:
         self.coalescer = coalescer
 
-    def merge(self, queue: JobQueue) -> None:
-        """Merge ready coalescing groups before scanning heads."""
-        if self.coalescer is not None:
-            self.coalescer.coalesce_pass(queue)
+    def merge(self, queue: JobQueue) -> List[Job]:
+        """Merge ready coalescing groups before scanning heads.
+
+        Returns the merged jobs minted this pass (empty without a
+        coalescer) so callers can react to them — e.g. batch-prewarm
+        their timing profiles in one vectorized sweep.
+        """
+        if self.coalescer is None:
+            return []
+        return self.coalescer.coalesce_pass(queue)
 
     def hold_deadline(self, queue: JobQueue, job: Job) -> Optional[float]:
         """Deadline to hold a coalescible head until, or None to pass."""

@@ -1,0 +1,423 @@
+"""Scalar vs. vectorized timing conformance (:mod:`repro.gpu.vectimes`).
+
+The vectorized engine must be *bit-identical* to the scalar reference —
+not approximately equal — because scenario digests are pinned on the
+scalar walk's float results.  Every test here therefore compares with
+``==``, never ``pytest.approx``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimation import ExecutionAnalyzer
+from repro.gpu import GRID_K520, QUADRO_4000, TEGRA_K1, vectimes
+from repro.gpu.timing import ExecutionProfile, KernelTimingModel
+from repro.kernels import (
+    InstructionMix,
+    InstructionType,
+    KernelCompiler,
+    KernelIR,
+    LaunchConfig,
+    MemoryFootprint,
+    ProgramBlock,
+    natural_launch,
+    uniform_kernel,
+)
+from repro.workloads import SUITE
+
+ARCHES = (QUADRO_4000, GRID_K520, TEGRA_K1)
+
+
+def _scalar_profiles(arch, items):
+    """Reference results: a fresh scalar model, vectorization off."""
+    model = KernelTimingModel(arch)
+    with vectimes.vectimes_scope(False):
+        return [model.execute(compiled, launch) for compiled, launch in items]
+
+
+def _footprint(working_set=256 * 1024, locality=0.5):
+    return MemoryFootprint(
+        bytes_in=working_set,
+        bytes_out=working_set // 2,
+        working_set_bytes=working_set,
+        locality=locality,
+    )
+
+
+def _multiblock_kernel():
+    """Multi-block kernel with a launch-dependent (callable) trip count."""
+    return KernelIR(
+        name="vec-conform",
+        blocks=(
+            ProgramBlock(
+                name="body",
+                mix=InstructionMix(
+                    {
+                        InstructionType.FP32: 6.0,
+                        InstructionType.INT: 2.0,
+                        InstructionType.LOAD: 2.0,
+                        InstructionType.STORE: 1.0,
+                    }
+                ),
+                trips=lambda ctx: ctx.elements_per_thread,
+            ),
+            ProgramBlock(
+                name="tail",
+                mix=InstructionMix(
+                    {InstructionType.BRANCH: 1.0, InstructionType.BIT: 2.0}
+                ),
+                trips=3.0,
+            ),
+        ),
+        footprint=_footprint(),
+        elements_per_thread=8.0,
+    )
+
+
+# -- registered workload kernels (acceptance criterion) ----------------------
+
+
+@pytest.mark.parametrize("app", sorted(SUITE))
+def test_every_workload_kernel_conforms(app):
+    """Scalar vs. vectorized equality for every registered workload."""
+    spec = SUITE[app]
+    for arch in ARCHES:
+        compiled = KernelCompiler().compile(spec.kernel, arch)
+        launches = [
+            natural_launch(spec.kernel, spec.elements, spec.block_size),
+            natural_launch(
+                spec.kernel, max(1, spec.elements // 7), spec.block_size
+            ),
+            LaunchConfig(
+                grid_size=1, block_size=spec.block_size, elements=spec.block_size
+            ),
+        ]
+        items = [(compiled, launch) for launch in launches]
+        assert vectimes.compute_profiles(arch, items) == _scalar_profiles(
+            arch, items
+        )
+
+
+# -- property-based sweep ----------------------------------------------------
+
+
+_mix_strategy = st.dictionaries(
+    st.sampled_from(list(InstructionType)),
+    st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+    min_size=1,
+    max_size=len(InstructionType),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mix=_mix_strategy,
+    trips=st.sampled_from([1.0, 2.0, 7.0]),
+    grid=st.integers(min_value=1, max_value=4096),
+    block=st.integers(min_value=1, max_value=1024),
+    elements_scale=st.integers(min_value=1, max_value=16),
+    working_set=st.sampled_from([4 * 1024, 512 * 1024, 64 * 1024 * 1024]),
+    locality=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    arch=st.sampled_from(ARCHES),
+)
+def test_random_kernels_conform(
+    mix, trips, grid, block, elements_scale, working_set, locality, arch
+):
+    kernel = uniform_kernel(
+        "vec-prop",
+        mix,
+        _footprint(working_set=working_set, locality=locality),
+        trips=trips,
+    )
+    compiled = KernelCompiler().compile(kernel, arch)
+    launch = LaunchConfig(
+        grid_size=grid, block_size=block, elements=grid * block * elements_scale
+    )
+    items = [(compiled, launch)]
+    assert vectimes.compute_profiles(arch, items) == _scalar_profiles(
+        arch, items
+    )
+
+
+# -- Fig. 10(b) staircase boundaries ----------------------------------------
+
+
+@pytest.mark.parametrize("arch", ARCHES, ids=lambda a: a.name)
+def test_staircase_boundary_grids_conform(arch):
+    """Wave-quantization edges (Eq. 9): grids at ``k*sm_count`` ± 1."""
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, arch)
+    grids = sorted(
+        {
+            max(1, k * arch.sm_count + delta)
+            for k in range(1, 5)
+            for delta in (-1, 0, 1)
+        }
+    )
+    items = [
+        (compiled, LaunchConfig(grid_size=g, block_size=512, elements=g * 512 * 8))
+        for g in grids
+    ]
+    assert vectimes.compute_profiles(arch, items) == _scalar_profiles(
+        arch, items
+    )
+
+
+def test_single_element_batch_conforms():
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    items = [
+        (compiled, LaunchConfig(grid_size=9, block_size=512, elements=9 * 512 * 8))
+    ]
+    assert vectimes.compute_profiles(QUADRO_4000, items) == _scalar_profiles(
+        QUADRO_4000, items
+    )
+
+
+def test_empty_batch():
+    assert vectimes.compute_profiles(QUADRO_4000, []) == []
+
+
+# -- execute_batch semantics -------------------------------------------------
+
+
+def test_execute_batch_matches_execute_and_memoizes():
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    launches = [
+        LaunchConfig(grid_size=g, block_size=256, elements=g * 256 * 8)
+        for g in (1, 8, 9, 16)
+    ]
+    items = [(compiled, launch) for launch in launches]
+    model = KernelTimingModel(QUADRO_4000)
+    with vectimes.vectimes_scope(True):
+        batch = model.execute_batch(items)
+        # Second pass is served entirely from the memo — same objects.
+        again = model.execute_batch(items)
+        singles = [model.execute(compiled, launch) for launch in launches]
+    assert batch == _scalar_profiles(QUADRO_4000, items)
+    assert all(a is b for a, b in zip(batch, again))
+    assert all(a is b for a, b in zip(batch, singles))
+
+
+def test_execute_batch_handles_duplicates():
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    launch = LaunchConfig(grid_size=9, block_size=256, elements=9 * 256 * 8)
+    items = [(compiled, launch)] * 3
+    model = KernelTimingModel(QUADRO_4000)
+    with vectimes.vectimes_scope(True):
+        profiles = model.execute_batch(items)
+    assert profiles[0] is profiles[1] is profiles[2]
+    assert profiles == _scalar_profiles(QUADRO_4000, [items[0]] * 3)
+
+
+def test_execute_batch_scalar_fallback_when_disabled():
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    items = [
+        (compiled, LaunchConfig(grid_size=g, block_size=256, elements=g * 256))
+        for g in (3, 5)
+    ]
+    model = KernelTimingModel(QUADRO_4000)
+    with vectimes.vectimes_scope(False):
+        assert model.execute_batch(items) == _scalar_profiles(
+            QUADRO_4000, items
+        )
+
+
+def test_profile_cached_peeks_without_side_effects():
+    kernel = _multiblock_kernel()
+    compiled = KernelCompiler().compile(kernel, QUADRO_4000)
+    launch = LaunchConfig(grid_size=4, block_size=256, elements=4 * 256 * 8)
+    model = KernelTimingModel(QUADRO_4000)
+    assert not model.profile_cached(compiled, launch)
+    assert model.cache_hits == 0 and model.cache_misses == 0
+    model.execute(compiled, launch)
+    assert model.profile_cached(compiled, launch)
+
+
+def test_content_tier_shares_profiles_across_compiles():
+    """Structurally identical compiles (fresh ids) reuse one profile.
+
+    This is the coalescer's shape: every merge pass mints a brand-new
+    merged ``KernelIR``, so the id-keyed memo always misses even though
+    the launch is structurally identical to last round's.
+    """
+    kernel = _multiblock_kernel()
+    launch = LaunchConfig(grid_size=9, block_size=512, elements=9 * 512 * 8)
+    first = KernelCompiler().compile(kernel, QUADRO_4000)
+    second = KernelCompiler().compile(kernel, QUADRO_4000)
+    assert first is not second
+    model = KernelTimingModel(QUADRO_4000)
+    with vectimes.vectimes_scope(True):
+        p1 = model.execute(first, launch)
+        p2 = model.execute(second, launch)
+    assert p2 is p1
+    # With vectorization off the legacy behavior returns: same values,
+    # separately computed objects.
+    legacy = KernelTimingModel(QUADRO_4000)
+    with vectimes.vectimes_scope(False):
+        q1 = legacy.execute(first, launch)
+        q2 = legacy.execute(second, launch)
+    assert q2 == q1 and q2 is not q1
+
+
+# -- component-method sharing (satellite: no redundant recomputation) --------
+
+
+def test_component_methods_match_profile_fields():
+    kernel = _multiblock_kernel()
+    for arch in ARCHES:
+        compiled = KernelCompiler().compile(kernel, arch)
+        launch = LaunchConfig(grid_size=17, block_size=256, elements=17 * 256 * 8)
+        model = KernelTimingModel(arch)
+        profile = model.execute(compiled, launch)
+        assert model.issue_cycles(compiled, launch) == profile.issue_cycles
+        assert model.memory_cycles(compiled, launch) == profile.memory_cycles
+        assert (
+            model.data_stall_cycles(compiled, launch)
+            == profile.data_stall_cycles
+        )
+
+
+# -- degenerate-elapsed handling (satellite regression) ----------------------
+
+
+def _degenerate_profile(elapsed):
+    return ExecutionProfile(
+        kernel_name="degenerate",
+        arch_name="Quadro 4000",
+        launch=LaunchConfig(grid_size=1, block_size=1, elements=0),
+        sigma={t: 0.0 for t in InstructionType},
+        issue_cycles=0.0,
+        memory_cycles=0.0,
+        data_stall_cycles=5.0,
+        other_stall_cycles=5.0,
+        elapsed_cycles=elapsed,
+        time_ms=0.0,
+        cache_hits=0.0,
+        cache_misses=0.0,
+        cache_hit_probability=0.0,
+        waves=0,
+        occupancy=0.0,
+    )
+
+
+@pytest.mark.parametrize("elapsed", [0.0, -1.0])
+def test_stall_views_agree_on_degenerate_launches(elapsed):
+    """``stall_breakdown`` and ``stall_fraction`` share the ``<= 0`` guard."""
+    profile = _degenerate_profile(elapsed)
+    assert profile.stall_fraction == 0.0
+    assert profile.stall_breakdown() == {"data_dependency": 0.0, "other": 0.0}
+
+
+def test_stall_views_consistent_when_positive():
+    profile = _degenerate_profile(20.0)
+    breakdown = profile.stall_breakdown()
+    assert breakdown == {"data_dependency": 25.0, "other": 25.0}
+    assert profile.stall_fraction == 0.5
+
+
+# -- estimation (Eq. 1-6) conformance ----------------------------------------
+
+
+@pytest.mark.parametrize("app", ["vectorAdd", "matrixMul", "Mandelbrot"])
+def test_estimation_batch_matches_scalar(app):
+    spec = SUITE[app]
+    analyzer = ExecutionAnalyzer(QUADRO_4000, TEGRA_K1)
+    launches = [
+        natural_launch(spec.kernel, spec.elements, spec.block_size),
+        natural_launch(spec.kernel, max(1, spec.elements // 3), spec.block_size),
+        LaunchConfig(
+            grid_size=1, block_size=spec.block_size, elements=spec.block_size
+        ),
+    ]
+    with vectimes.vectimes_scope(False):
+        scalar = [analyzer.analyze(spec.kernel, launch) for launch in launches]
+        scalar_power = [
+            analyzer.estimate_power(spec.kernel, launch) for launch in launches
+        ]
+    with vectimes.vectimes_scope(True):
+        batch = analyzer.analyze_batch(spec.kernel, launches)
+        routed = [analyzer.analyze(spec.kernel, launch) for launch in launches]
+        power = analyzer.estimate_power_batch(spec.kernel, launches)
+        routed_power = [
+            analyzer.estimate_power(spec.kernel, launch) for launch in launches
+        ]
+    assert batch == scalar
+    assert routed == scalar
+    assert power == scalar_power
+    assert routed_power == scalar_power
+
+
+def test_estimation_batch_validates_lengths():
+    spec = SUITE["vectorAdd"]
+    analyzer = ExecutionAnalyzer(QUADRO_4000, TEGRA_K1)
+    launch = natural_launch(spec.kernel, spec.elements, spec.block_size)
+    with vectimes.vectimes_scope(True):
+        with pytest.raises(ValueError):
+            analyzer.analyze_batch(spec.kernel, [launch], host_profiles=[])
+        with pytest.raises(ValueError):
+            analyzer.estimate_power_batch(spec.kernel, [launch], cycles=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            analyzer.estimate_power_batch(spec.kernel, [launch], cycles=[-1.0])
+
+
+# -- figure sweep integration ------------------------------------------------
+
+
+def test_fig10b_series_identical_scalar_vs_vectorized():
+    from repro.analysis.figures import fig10b_series
+
+    grids = tuple(range(1, 25))
+    with vectimes.vectimes_scope(True):
+        vec = fig10b_series(grids=grids)
+    with vectimes.vectimes_scope(False):
+        scalar = fig10b_series(grids=grids)
+    assert vec == scalar
+
+
+# -- end-to-end scenario invariance ------------------------------------------
+
+
+def test_scenario_summary_unchanged_by_vectimes():
+    """A full multiplexed scenario (dispatcher prewarm included) must
+    simulate the same summary with the engine on and off."""
+    from repro.exec.jobs import scenario_summary
+
+    kwargs = {"app": "vectorAdd", "n_vps": 4}
+    with vectimes.vectimes_scope(True):
+        on = scenario_summary(**kwargs)
+    with vectimes.vectimes_scope(False):
+        off = scenario_summary(**kwargs)
+    assert on == off
+
+
+# -- toggles -----------------------------------------------------------------
+
+
+def test_env_parsing(monkeypatch):
+    for value, expected in [
+        ("0", False), ("", False), ("false", False),
+        ("1", True), ("yes", True),
+    ]:
+        monkeypatch.setenv(vectimes.VECTIMES_ENV_VAR, value)
+        assert vectimes.vectimes_from_env() is expected
+    monkeypatch.delenv(vectimes.VECTIMES_ENV_VAR)
+    assert vectimes.vectimes_from_env() is True
+
+
+def test_set_and_scope_restore():
+    initial = vectimes.vectimes_enabled()
+    try:
+        previous = vectimes.set_vectimes_enabled(False)
+        assert previous is initial
+        assert vectimes.vectimes_enabled() is False
+        with vectimes.vectimes_scope(True):
+            assert vectimes.vectimes_enabled() is True
+        assert vectimes.vectimes_enabled() is False
+    finally:
+        vectimes.set_vectimes_enabled(initial)
