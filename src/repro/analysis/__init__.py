@@ -8,6 +8,12 @@ from .accounting import (
     render_accounting,
     vp_accounts,
 )
+from .critpath import (
+    CritPathReport,
+    DeviceAttribution,
+    attribute,
+    render_critpath,
+)
 from .figures import (
     CoalescingPoint,
     EstimationPoint,
@@ -55,6 +61,10 @@ __all__ = [
     "ValidationResult",
     "JobLatency",
     "VPAccount",
+    "CritPathReport",
+    "DeviceAttribution",
+    "attribute",
+    "render_critpath",
     "build_report",
     "job_latencies",
     "kind_breakdown",

@@ -11,8 +11,14 @@ Commands:
 * ``validate [apps...]``         — cross-backend functional equivalence
 * ``report [-o FILE] [--quick]`` — the full paper-vs-measured record
 * ``trace APP [-o FILE]``        — record one scenario into a
-                                   Chrome/Perfetto trace (+ metrics)
+                                   Chrome/Perfetto trace (+ metrics);
+                                   ``--critpath`` prints what bounds it
 * ``metrics APP``                — run one scenario, print its metrics
+                                   (``--prom`` for Prometheus text)
+* ``account APP``                — run one scenario, print the per-VP
+                                   accounting table (``account.*``)
+* ``trajectory``                 — build/gate the BENCH_*.json
+                                   performance trajectory
 * ``policies``                   — list registered scheduling policies
                                    and placement strategies
 * ``cache stats|clear``          — inspect / purge the persistent
@@ -144,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm worker processes for the parallel mode")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset of the pinned suite")
-    bench.add_argument("-o", "--output", default="BENCH_PR6.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR7.json",
                        help="JSON report path (use '-' to skip writing)")
     bench.add_argument("--trace", action="store_true",
                        help="add a traced parallel mode and write one "
@@ -155,7 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="merged metrics snapshot path (--trace)")
     bench.add_argument("--no-overhead-guard", action="store_true",
                        help="skip the disabled-mode overhead check "
-                            "against the committed baseline")
+                            "against the newest committed BENCH_*.json")
+    bench.add_argument("--compare", action="store_true",
+                       help="gate this run's per-job warm-serial times "
+                            "against the newest committed BENCH_*.json "
+                            "with the trajectory sign test")
     bench.add_argument("--cold", action="store_true",
                        help="add the disk-cache cold-start and "
                             "batched-execution sections (private "
@@ -200,13 +210,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the metrics snapshot here")
     trace.add_argument("--gantt", action="store_true",
                        help="print an ASCII gantt rebuilt from the trace")
+    trace.add_argument("--critpath", action="store_true",
+                       help="print critical-path attribution: which "
+                            "engine/IPC/idle segment bounds the scenario")
 
     metrics = scenario_options(sub.add_parser(
         "metrics",
         help="run one scenario with metrics on; print the registry",
     ))
     metrics.add_argument("-o", "--output", default=None,
-                         help="also write the snapshot JSON here")
+                         help="also write the snapshot JSON here "
+                              "(a .prom sibling is written alongside)")
+    metrics.add_argument("--prom", action="store_true",
+                         help="print Prometheus text exposition instead "
+                              "of the table")
+
+    scenario_options(sub.add_parser(
+        "account",
+        help="run one scenario and print the per-VP accounting table "
+             "(busy/wait, coalesce share, fairness, deadlines)",
+    ))
+
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="build the BENCH_*.json performance trajectory and apply "
+             "the statistical regression gate",
+    )
+    trajectory.add_argument("-o", "--output", default="TRAJECTORY.json",
+                            help="trajectory JSON path ('-' to skip writing)")
+    trajectory.add_argument("--tolerance", type=float, default=None,
+                            help="relative per-job change treated as a tie "
+                                 "(default 0.10)")
+    trajectory.add_argument("--alpha", type=float, default=None,
+                            help="sign-test significance level (default 0.05)")
+    trajectory.add_argument("--no-gate", action="store_true",
+                            help="report only; never exit non-zero on a "
+                                 "flagged regression")
 
     estimate = sub.add_parser("estimate", help="target time/power for one app")
     estimate.add_argument("app")
@@ -496,19 +535,58 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     if args.gantt:
         print()
         print(render_gantt(timeline_from_trace(result.trace)))
+    if args.critpath:
+        from .analysis.critpath import attribute, render_critpath
+
+        print()
+        print(render_critpath(attribute(result.trace)))
 
 
 def _cmd_metrics(args: argparse.Namespace) -> None:
     from pathlib import Path
 
-    from .obs import metrics_snapshot, render_metrics, run_stamp, write_metrics
+    from .obs import (
+        metrics_snapshot,
+        render_metrics,
+        run_stamp,
+        to_prometheus,
+        write_metrics,
+    )
 
     job, result = _captured_scenario(args)
     stamp = run_stamp(job.fn, job.kwargs, seed=job.seed, label=job.label)
-    print(render_metrics(metrics_snapshot(result.metrics, stamp)))
+    snapshot = metrics_snapshot(result.metrics, stamp)
+    if args.prom:
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(render_metrics(snapshot))
     if args.output:
         path = write_metrics(Path(args.output), result.metrics, stamp)
-        print(f"metrics written to {path}")
+        print(f"metrics written to {path} "
+              f"(+ {Path(path).with_suffix('.prom').name})")
+
+
+def _cmd_account(args: argparse.Namespace) -> None:
+    from .kernels.functional import FunctionalRegistry
+    from .obs import render_accounts
+    from .sched import SchedulerConfig
+
+    spec = get_workload(args.app)
+    framework = SigmaVP(
+        transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
+        interleaving=not args.no_interleaving,
+        coalescing=not args.no_coalescing,
+        n_vps=args.vps,
+        n_host_gpus=args.gpus,
+        sched=SchedulerConfig.from_names(args.policy, args.placement),
+        registry=FunctionalRegistry(),
+    )
+    total = framework.run_workload(spec)
+    print(f"{spec.name}: {args.vps} VPs on {args.gpus} host GPU(s), "
+          f"policy={framework.dispatcher.policy.name}, "
+          f"total simulated time {total:.3f} ms")
+    print()
+    print(render_accounts(framework))
 
 
 DEFAULT_VALIDATION_APPS = ("vectorAdd", "BlackScholes", "mergeSort",
@@ -616,6 +694,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cold=args.cold,
             policy=args.policy,
             placement=args.placement,
+            compare=args.compare,
         )
         print(render_report(report))
         if args.output != "-":
@@ -642,6 +721,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_trace(args)
     elif args.command == "metrics":
         _cmd_metrics(args)
+    elif args.command == "account":
+        _cmd_account(args)
+    elif args.command == "trajectory":
+        from pathlib import Path
+
+        from .exec import trajectory as trajectory_mod
+
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance"] = args.tolerance
+        if args.alpha is not None:
+            kwargs["alpha"] = args.alpha
+        report = trajectory_mod.build(**kwargs)
+        print(trajectory_mod.render_trajectory(report))
+        if args.output != "-":
+            path = trajectory_mod.write_trajectory(Path(args.output), report)
+            print(f"trajectory written to {path}")
+        if report["regressions"] and not args.no_gate:
+            return 1
     elif args.command == "estimate":
         _cmd_estimate(args)
     elif args.command == "report":

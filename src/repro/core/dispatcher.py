@@ -354,6 +354,16 @@ class JobDispatcher:
         job.completed_at_ms = self.env.now
         self.stats.completed += 1
         self.completed_log.append(job)
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            # Live counters the time-series sampler can watch mid-run;
+            # the authoritative per-VP breakdown is derived from the
+            # completed log by ``repro.obs.account`` at collection time.
+            registry.counter("account.completed").inc()
+            if job.members:
+                registry.counter(
+                    "account.coalesced_members"
+                ).inc(len(job.members))
         for member in job.members:
             # Recursive: members may themselves be merged jobs.
             self._complete(member)

@@ -35,10 +35,24 @@ from .farm import (
     results_digest,
     seed_for,
 )
+from .trajectory import (
+    TrajectoryError,
+    TrajectoryPoint,
+    TrajectoryRegressionError,
+    render_trajectory,
+    write_trajectory,
+)
+from .trajectory import build as build_trajectory
 
 __all__ = [
     "BenchDigestError",
     "BenchOverheadError",
+    "TrajectoryError",
+    "TrajectoryPoint",
+    "TrajectoryRegressionError",
+    "build_trajectory",
+    "render_trajectory",
+    "write_trajectory",
     "render_report",
     "run_bench",
     "FarmJob",

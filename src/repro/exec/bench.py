@@ -23,12 +23,14 @@ Two observability additions ride on the same harness:
   never perturb simulation), and whose merged multi-worker trace and
   metrics come back under ``report["artifacts"]``;
 * an **overhead guard**: the tracing-*disabled* hot paths carry the
-  instrumentation's ``is not None`` guards, so the serial-warm wall
-  time is compared against the committed baseline
-  (``BENCH_PR2.json``) and the bench fails if it regressed by more
-  than :data:`DEFAULT_OVERHEAD_LIMIT` (suite and worker-count must
-  match for the comparison to be meaningful; otherwise it is skipped
-  with a note).
+  instrumentation's ``is not None`` guards, so the serial-warm cost is
+  compared against the chronologically newest committed
+  ``BENCH_*.json`` (auto-resolved via
+  :func:`repro.exec.trajectory.newest_bench_path`, excluding the file
+  this run is about to write) and the bench fails if it regressed by
+  more than :data:`DEFAULT_OVERHEAD_LIMIT` (suite and worker-count
+  must match for the comparison to be meaningful; otherwise it is
+  skipped with a note).
 
 ``cold=True`` (``repro bench --cold``) appends two more sections: the
 persistent **disk-cache** cold-start proof (memory-cold processes served
@@ -57,6 +59,7 @@ from .. import cache as _cache
 from ..caching import cache_scope, clear_all_caches
 from ..kernels.functional import batching_scope
 from ..obs import farm_merged_metrics, farm_trace_sources, to_chrome_trace
+from ..obs.export import git_commit as _git_commit
 from .farm import FarmJob, FarmResult, ScenarioFarm, results_digest
 
 #: The pinned regression suite.  Iteration-heavy, many-VP, small-data
@@ -177,13 +180,23 @@ DEFAULT_OVERHEAD_LIMIT = 0.02
 #: once-per-process one).
 DISK_WARM_LIMIT = 2.0
 
-#: The committed wall-clock baseline the overhead guard compares against.
-BASELINE_PATH = Path("BENCH_PR2.json")
+def resolve_baseline(exclude: Optional[Path] = None) -> Optional[Path]:
+    """The newest committed ``BENCH_*.json`` — the overhead-guard baseline.
+
+    Auto-resolved (by recorded timestamp, via the trajectory layer) so
+    the guard always measures against the most recent committed point
+    instead of a hard-pinned file that silently goes stale; ``exclude``
+    keeps the report a bench run is about to write from baselining
+    against itself.
+    """
+    from .trajectory import newest_bench_path  # local: trajectory loads bench files
+
+    return newest_bench_path(Path("."), exclude=exclude)
 
 
 def check_overhead(
     report: Dict[str, Any],
-    baseline_path: Path = BASELINE_PATH,
+    baseline_path: Optional[Path] = None,
     limit: float = DEFAULT_OVERHEAD_LIMIT,
 ) -> Dict[str, Any]:
     """Compare this run's serial-warm wall time to the baseline file.
@@ -192,15 +205,22 @@ def check_overhead(
     directly measures what the instrumentation guards cost everyone who
     never turns tracing on.  Returns a JSON-able section describing the
     check; raises :class:`BenchOverheadError` when the overhead exceeds
-    ``limit``.  The comparison is skipped (with a ``note``) when the
-    baseline is missing or was recorded for a different suite or worker
-    count — wall times are only comparable like-for-like.
+    ``limit``.  ``baseline_path=None`` auto-resolves the newest
+    committed ``BENCH_*.json`` (:func:`resolve_baseline`).  The
+    comparison is skipped (with a ``note``) when the baseline is missing
+    or was recorded for a different suite or worker count — wall times
+    are only comparable like-for-like.
     """
+    if baseline_path is None:
+        baseline_path = resolve_baseline()
     section: Dict[str, Any] = {
-        "baseline": str(baseline_path),
+        "baseline": str(baseline_path) if baseline_path is not None else None,
         "limit": limit,
         "checked": False,
     }
+    if baseline_path is None:
+        section["note"] = "no committed BENCH_*.json baseline found"
+        return section
     try:
         baseline = json.loads(Path(baseline_path).read_text())
     except (OSError, ValueError) as exc:
@@ -506,15 +526,16 @@ def _timing_section(
 def run_bench(
     workers: int = 4,
     quick: bool = False,
-    output: Optional[Path] = Path("BENCH_PR6.json"),
+    output: Optional[Path] = Path("BENCH_PR7.json"),
     jobs: Optional[Sequence[FarmJob]] = None,
     trace: bool = False,
     overhead_guard: bool = True,
-    baseline: Path = BASELINE_PATH,
+    baseline: Optional[Path] = None,
     overhead_limit: float = DEFAULT_OVERHEAD_LIMIT,
     cold: bool = False,
     policy: Optional[str] = None,
     placement: Optional[str] = None,
+    compare: bool = False,
 ) -> Dict[str, Any]:
     """Run the pinned suite serial-cold, serial-warm, and parallel-warm.
 
@@ -526,8 +547,14 @@ def run_bench(
     modes; its merged trace sources and metrics land under the
     (non-serialized) ``report["artifacts"]`` key and its relative cost
     under ``report["tracing_overhead"]``.  ``overhead_guard`` compares
-    the tracing-*disabled* serial-warm wall time against ``baseline``
-    and raises :class:`BenchOverheadError` past ``overhead_limit``.
+    the tracing-*disabled* serial-warm cost against ``baseline`` (the
+    newest committed ``BENCH_*.json`` when ``None``, this run's own
+    ``output`` excluded) and raises :class:`BenchOverheadError` past
+    ``overhead_limit``.  ``compare=True`` additionally gates the run's
+    per-job warm-serial times against the same newest committed point
+    with the trajectory sign test
+    (:func:`repro.exec.trajectory.compare_bench_report`), recording the
+    verdict under ``report["trajectory_compare"]``.
 
     ``cold=True`` adds the persistent disk-cache cold-start section
     (:func:`_disk_section`, against a private temporary store) and the
@@ -605,6 +632,7 @@ def run_bench(
         "identical_results": True,
         "digest": cold_mode["digest"],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_commit": _git_commit(),
     }
     if policy is not None or placement is not None:
         report["sched"] = {"policy": policy, "placement": placement}
@@ -624,8 +652,19 @@ def run_bench(
         with _cache.disk_scope(False):
             report["batched_execution"] = _batched_section()
     if overhead_guard:
+        if baseline is None:
+            baseline = resolve_baseline(
+                exclude=Path(output) if output is not None else None
+            )
         report["overhead_guard"] = check_overhead(
             report, baseline_path=baseline, limit=overhead_limit
+        )
+    if compare:
+        from .trajectory import compare_bench_report
+
+        report["trajectory_compare"] = compare_bench_report(
+            report,
+            exclude=Path(output) if output is not None else None,
         )
     if output is not None:
         Path(output).write_text(json.dumps(report, indent=2) + "\n")
@@ -713,4 +752,17 @@ def render_report(report: Dict[str, Any]) -> str:
             )
         else:
             lines.append(f"overhead guard: {guard.get('note', 'skipped')}")
+    compare = report.get("trajectory_compare")
+    if compare:
+        if compare.get("comparable"):
+            lines.append(
+                f"trajectory compare vs newest committed point: "
+                f"{compare['faster']} faster / {compare['slower']} slower / "
+                f"{compare['ties']} within band (p={compare['p_value']:.4f}) "
+                f"-> {'REGRESSED' if compare['regressed'] else 'ok'}"
+            )
+        else:
+            lines.append(
+                f"trajectory compare: {compare.get('note', 'skipped')}"
+            )
     return "\n".join(lines)

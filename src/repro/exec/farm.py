@@ -96,8 +96,11 @@ class FarmResult:
     ``trace`` and ``metrics`` are populated only when the farm ran with
     observability capture on (``capture_obs=True``): the worker's trace
     buffer payload and metrics snapshot, serialized through the normal
-    result channel.  They are excluded from :func:`results_digest`, so
-    capturing never perturbs digest equality.
+    result channel.  ``timeseries`` additionally requires a sampling
+    interval (``sample_interval_ms``) and carries the job's
+    :class:`~repro.obs.timeseries.Sampler` payload.  All three are
+    excluded from :func:`results_digest`, so capturing never perturbs
+    digest equality.
     """
 
     job_key: str
@@ -108,6 +111,7 @@ class FarmResult:
     worker_pid: int
     trace: Optional[Dict[str, Any]] = None
     metrics: Optional[Dict[str, Any]] = None
+    timeseries: Optional[Dict[str, Any]] = None
 
 
 #: Per-process memo of resolved job functions and their seed-awareness.
@@ -118,11 +122,16 @@ _fn_cache: Dict[str, tuple] = {}
 #: Set by the pool initializer in workers, or directly in serial mode.
 _CAPTURE_OBS = False
 
+#: Per-process time-series sampling interval (simulated ms) applied to
+#: each job's capture window; ``None`` keeps sampling off.
+_CAPTURE_SAMPLE_MS: Optional[float] = None
 
-def set_capture(on: bool) -> None:
+
+def set_capture(on: bool, sample_interval_ms: Optional[float] = None) -> None:
     """Turn per-job observability capture on/off in *this* process."""
-    global _CAPTURE_OBS
+    global _CAPTURE_OBS, _CAPTURE_SAMPLE_MS
     _CAPTURE_OBS = bool(on)
+    _CAPTURE_SAMPLE_MS = sample_interval_ms if on else None
 
 
 def _resolve(fn_ref: str) -> tuple:
@@ -151,6 +160,7 @@ def run_job(job: FarmJob) -> FarmResult:
         kwargs["seed"] = job.seed
     trace_payload: Optional[Dict[str, Any]] = None
     metrics_payload: Optional[Dict[str, Any]] = None
+    timeseries_payload: Optional[Dict[str, Any]] = None
     started = time.perf_counter()
     # Whole-job result layer: a job's value is a pure function of its
     # config-hash identity, so a disk entry short-circuits the entire
@@ -177,11 +187,12 @@ def run_job(job: FarmJob) -> FarmResult:
         if registry is not None:
             registry.counter("cache.disk.job_misses").inc()
     if _CAPTURE_OBS:
-        with _obs_capture() as window:
+        with _obs_capture(sample_interval_ms=_CAPTURE_SAMPLE_MS) as window:
             with _obs_metrics.timed("farm.run_job"):
                 value = fn(**kwargs)
         trace_payload = window.trace_payload()
         metrics_payload = window.metrics_payload()
+        timeseries_payload = window.timeseries_payload()
     else:
         value = fn(**kwargs)
     if store is not None:
@@ -195,6 +206,7 @@ def run_job(job: FarmJob) -> FarmResult:
         worker_pid=os.getpid(),
         trace=trace_payload,
         metrics=metrics_payload,
+        timeseries=timeseries_payload,
     )
 
 
@@ -222,6 +234,7 @@ def _init_worker(
     capture_obs: bool = False,
     warm: bool = True,
     disk_config: Optional[Dict[str, Any]] = None,
+    sample_interval_ms: Optional[float] = None,
 ) -> None:
     """Pool initializer: disk-cache config, optional warm-up, capture.
 
@@ -238,7 +251,7 @@ def _init_worker(
     if warm:
         warm_worker()
     if capture_obs:
-        set_capture(True)
+        set_capture(True, sample_interval_ms=sample_interval_ms)
 
 
 def results_digest(results: Sequence[FarmResult]) -> str:
@@ -263,6 +276,7 @@ class ScenarioFarm:
         warmup: bool = True,
         chunk_size: Optional[int] = None,
         capture_obs: bool = False,
+        sample_interval_ms: Optional[float] = None,
     ):
         requested = os.cpu_count() or 1 if workers is None else workers
         if requested < 1:
@@ -272,6 +286,8 @@ class ScenarioFarm:
         self.warmup = warmup
         self.chunk_size = chunk_size
         self.capture_obs = capture_obs
+        #: Per-job time-series sampling interval under capture (None = off).
+        self.sample_interval_ms = sample_interval_ms
 
     @staticmethod
     def _can_fork() -> bool:
@@ -292,12 +308,12 @@ class ScenarioFarm:
                 return [run_job(job) for job in jobs]
             # Serial capture goes through the identical flag + run_job
             # path as workers do, restoring the caller's state after.
-            previous = _CAPTURE_OBS
-            set_capture(True)
+            previous = (_CAPTURE_OBS, _CAPTURE_SAMPLE_MS)
+            set_capture(True, sample_interval_ms=self.sample_interval_ms)
             try:
                 return [run_job(job) for job in jobs]
             finally:
-                set_capture(previous)
+                set_capture(previous[0], sample_interval_ms=previous[1])
         # Chunked submission: a few chunks per worker balances scheduling
         # freedom (uneven job durations) against per-submission IPC.
         chunk = self.chunk_size or max(1, len(jobs) // (self.workers * 4))
@@ -307,7 +323,12 @@ class ScenarioFarm:
             "enabled": _cache.disk_enabled(),
         }
         initializer: Optional[Callable] = _init_worker
-        initargs: tuple = (self.capture_obs, self.warmup, disk_config)
+        initargs: tuple = (
+            self.capture_obs,
+            self.warmup,
+            disk_config,
+            self.sample_interval_ms,
+        )
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(jobs)),
             mp_context=context,

@@ -1,0 +1,417 @@
+"""The bench trajectory: every committed ``BENCH_*.json`` as one curve.
+
+Each PR appends one ``BENCH_*.json`` point; this module turns the set of
+committed points into the performance *trajectory* of the stack — the
+speedup/CPU-time curve the ROADMAP asks to gate statistically — and
+applies a regression gate between consecutive comparable points:
+
+* **Pairing.**  Two points are comparable when they ran the same suite
+  with the same worker count; the per-job times of their ``serial_warm``
+  mode (best-of-N, cache-warm, single process — the least noisy mode)
+  pair by job label.
+* **Tolerance band.**  A pair whose relative change is within
+  ``tolerance`` (default ±10%) is a tie and casts no vote; shared-host
+  noise lives inside the band.
+* **Sign test.**  Among the remaining pairs, count slower vs faster.
+  Under the null (no real change) each is a fair coin; the one-sided
+  binomial tail ``P[X >= slower]`` is computed exactly with
+  :func:`math.comb` — no scipy needed.  A transition **regresses** when
+  slower votes outnumber faster ones *and* the tail probability clears
+  ``alpha`` (default 0.05): with ten suite jobs, at least nine must
+  slow down — a single noisy job can never fail a PR, a real across-
+  the-board slowdown always will.
+
+The headline best-of-N CPU time (``cpu_s``, immune to scheduler steal;
+wall-clock fallback for pre-PR2 points that predate CPU tracking) rides
+along in every point and transition for trend reporting.
+
+``build()`` writes ``TRAJECTORY.json``; ``repro trajectory`` renders and
+gates it; ``repro bench --compare`` gates a *fresh* bench report against
+the newest committed point before it is ever written.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA = "repro.exec.trajectory/1"
+
+#: Relative per-job change treated as a tie (no vote) in the sign test.
+DEFAULT_TOLERANCE = 0.10
+
+#: One-sided binomial significance level for the regression verdict.
+DEFAULT_ALPHA = 0.05
+
+#: The bench mode whose numbers form the trajectory: cache-warm serial
+#: is the least noisy mode (no fork fan-out, no cold compilation).
+TRAJECTORY_MODE = "serial_warm"
+
+
+class TrajectoryError(AssertionError):
+    """The trajectory could not be built (no points, unreadable files)."""
+
+
+class TrajectoryRegressionError(AssertionError):
+    """The regression gate flagged a statistically significant slowdown."""
+
+
+def discover_bench_paths(root: Path = Path(".")) -> List[Path]:
+    """Committed ``BENCH_*.json`` files under ``root``.
+
+    Prefers ``git ls-files`` so an uncommitted in-progress bench output
+    never becomes its own baseline; falls back to a directory glob
+    outside a repository.
+    """
+    root = Path(root)
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"],
+            capture_output=True, text=True, timeout=10, check=False, cwd=root,
+        )
+        if proc.returncode == 0:
+            paths = [
+                root / line for line in proc.stdout.splitlines() if line.strip()
+            ]
+            paths = [path for path in paths if path.is_file()]
+            if paths:
+                return sorted(paths)
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return sorted(root.glob("BENCH_*.json"))
+
+
+@dataclass
+class TrajectoryPoint:
+    """One committed bench report, reduced to its trajectory-relevant core."""
+
+    name: str
+    timestamp: str
+    suite: str
+    workers: int
+    digest: str
+    git_commit: str = ""
+    speedups: Dict[str, float] = field(default_factory=dict)
+    #: Best-of-N CPU seconds per mode (absent pre-PR2 entries are None).
+    cpu_s: Dict[str, Optional[float]] = field(default_factory=dict)
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    per_job_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def headline_s(self) -> float:
+        """The point's trajectory number: warm-serial CPU, wall fallback."""
+        cpu = self.cpu_s.get(TRAJECTORY_MODE)
+        if cpu is not None:
+            return cpu
+        return self.wall_s.get(TRAJECTORY_MODE, 0.0)
+
+    @property
+    def headline_metric(self) -> str:
+        return "cpu" if self.cpu_s.get(TRAJECTORY_MODE) is not None else "wall"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "timestamp": self.timestamp,
+            "suite": self.suite,
+            "workers": self.workers,
+            "digest": self.digest,
+            "git_commit": self.git_commit,
+            "speedups": dict(self.speedups),
+            "cpu_s": dict(self.cpu_s),
+            "wall_s": dict(self.wall_s),
+            "headline_s": self.headline_s,
+            "headline_metric": self.headline_metric,
+        }
+
+
+def point_from_report(report: Dict[str, Any], name: str) -> TrajectoryPoint:
+    """Reduce one bench report dict to a trajectory point."""
+    modes = report.get("modes", {})
+    trajectory_mode = modes.get(TRAJECTORY_MODE, {})
+    return TrajectoryPoint(
+        name=name,
+        timestamp=str(report.get("timestamp", "")),
+        suite=str(report.get("suite", "?")),
+        workers=int(report.get("workers", 0)),
+        digest=str(report.get("digest", "")),
+        git_commit=str(report.get("stamp", {}).get("git_commit", "")
+                       or report.get("git_commit", "")),
+        speedups={k: float(v) for k, v in report.get("speedups", {}).items()},
+        cpu_s={
+            mode: (float(data["cpu_s"]) if "cpu_s" in data else None)
+            for mode, data in modes.items()
+        },
+        wall_s={
+            mode: float(data.get("wall_s", 0.0)) for mode, data in modes.items()
+        },
+        per_job_s={
+            str(label): float(value)
+            for label, value in trajectory_mode.get("per_job_s", {}).items()
+        },
+    )
+
+
+def load_points(paths: Sequence[Path]) -> List[TrajectoryPoint]:
+    """Load and chronologically order bench reports.
+
+    Points sort by their recorded timestamp (ISO-8601 strings sort
+    correctly), file name breaking ties — so re-benched files keep their
+    true position even when names don't sort chronologically.
+    """
+    points: List[TrajectoryPoint] = []
+    for path in paths:
+        try:
+            report = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise TrajectoryError(
+                f"unreadable bench report {path}: {exc}"
+            ) from exc
+        points.append(point_from_report(report, Path(path).name))
+    points.sort(key=lambda p: (p.timestamp, p.name))
+    return points
+
+
+def newest_bench_path(
+    root: Path = Path("."), exclude: Optional[Path] = None
+) -> Optional[Path]:
+    """The chronologically newest committed bench report (or ``None``).
+
+    ``exclude`` drops a path from consideration — the bench harness
+    passes its own output file so a re-run never baselines against the
+    report it is about to overwrite.
+    """
+    paths = discover_bench_paths(root)
+    if exclude is not None:
+        exclude_resolved = Path(exclude).resolve()
+        paths = [p for p in paths if p.resolve() != exclude_resolved]
+    if not paths:
+        return None
+    by_name = {p.name: p for p in paths}
+    points = load_points(paths)
+    return by_name[points[-1].name]
+
+
+# -- the sign test -----------------------------------------------------------
+
+
+def sign_test_pvalue(slower: int, n: int) -> float:
+    """Exact one-sided binomial tail ``P[X >= slower]`` for ``X~B(n, ½)``."""
+    if n <= 0:
+        return 1.0
+    tail = sum(math.comb(n, k) for k in range(slower, n + 1))
+    return tail / (2.0 ** n)
+
+
+def compare_points(
+    base: TrajectoryPoint,
+    new: TrajectoryPoint,
+    tolerance: float = DEFAULT_TOLERANCE,
+    alpha: float = DEFAULT_ALPHA,
+) -> Dict[str, Any]:
+    """Gate verdict for one ``base -> new`` transition.
+
+    Returns a JSON-able transition record; ``regressed`` is True when
+    the sign test over the paired per-job warm-serial times finds a
+    statistically significant slowdown.  Non-comparable transitions
+    (different suite or worker count, or no shared job labels) are
+    recorded but never vote.
+    """
+    transition: Dict[str, Any] = {
+        "base": base.name,
+        "new": new.name,
+        "comparable": False,
+        "regressed": False,
+        "tolerance": tolerance,
+        "alpha": alpha,
+    }
+    if base.suite != new.suite or base.workers != new.workers:
+        transition["note"] = (
+            f"not comparable: suite {base.suite}->{new.suite}, "
+            f"workers {base.workers}->{new.workers}"
+        )
+        return transition
+    shared = sorted(set(base.per_job_s) & set(new.per_job_s))
+    if not shared:
+        transition["note"] = "no shared job labels"
+        return transition
+
+    slower = faster = ties = 0
+    changes: Dict[str, float] = {}
+    for label in shared:
+        before = base.per_job_s[label]
+        after = new.per_job_s[label]
+        rel = (after - before) / before if before > 0.0 else 0.0
+        changes[label] = rel
+        if rel > tolerance:
+            slower += 1
+        elif rel < -tolerance:
+            faster += 1
+        else:
+            ties += 1
+    votes = slower + faster
+    p_value = sign_test_pvalue(slower, votes)
+    regressed = slower > faster and p_value < alpha
+
+    headline_rel = (
+        (new.headline_s - base.headline_s) / base.headline_s
+        if base.headline_s > 0.0 else 0.0
+    )
+    transition.update(
+        comparable=True,
+        pairs=len(shared),
+        slower=slower,
+        faster=faster,
+        ties=ties,
+        p_value=p_value,
+        regressed=regressed,
+        per_job_change=changes,
+        headline={
+            "metric": (
+                "cpu"
+                if base.headline_metric == "cpu" and new.headline_metric == "cpu"
+                else "wall"
+            ),
+            "base_s": base.headline_s,
+            "new_s": new.headline_s,
+            "relative": headline_rel,
+        },
+    )
+    return transition
+
+
+def build(
+    root: Path = Path("."),
+    tolerance: float = DEFAULT_TOLERANCE,
+    alpha: float = DEFAULT_ALPHA,
+    paths: Optional[Sequence[Path]] = None,
+) -> Dict[str, Any]:
+    """Build the full trajectory report from committed bench files."""
+    paths = list(paths) if paths is not None else discover_bench_paths(root)
+    if not paths:
+        raise TrajectoryError(f"no BENCH_*.json files found under {root}")
+    points = load_points(paths)
+    transitions = [
+        compare_points(base, new, tolerance=tolerance, alpha=alpha)
+        for base, new in zip(points, points[1:])
+    ]
+    return {
+        "schema": SCHEMA,
+        "mode": TRAJECTORY_MODE,
+        "tolerance": tolerance,
+        "alpha": alpha,
+        "points": [point.to_json() for point in points],
+        "transitions": transitions,
+        "regressions": [
+            t for t in transitions if t.get("regressed")
+        ],
+    }
+
+
+def gate(report: Dict[str, Any]) -> None:
+    """Raise :class:`TrajectoryRegressionError` on any flagged transition."""
+    regressions = report.get("regressions", [])
+    if regressions:
+        worst = regressions[0]
+        raise TrajectoryRegressionError(
+            f"bench trajectory regressed at {worst['base']} -> {worst['new']}: "
+            f"{worst['slower']}/{worst['pairs']} jobs slower "
+            f"(p={worst['p_value']:.4f} < alpha={worst['alpha']}, "
+            f"tolerance ±{worst['tolerance'] * 100.0:.0f}%)"
+        )
+
+
+def compare_bench_report(
+    report: Dict[str, Any],
+    root: Path = Path("."),
+    tolerance: float = DEFAULT_TOLERANCE,
+    alpha: float = DEFAULT_ALPHA,
+    exclude: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Gate a freshly run bench report against the newest committed point.
+
+    The ``repro bench --compare`` path: raises
+    :class:`TrajectoryRegressionError` if the new report's warm-serial
+    per-job times regress significantly versus the newest committed
+    ``BENCH_*.json``; returns the transition record otherwise (including
+    the not-comparable case, which never fails).
+    """
+    baseline_path = newest_bench_path(root, exclude=exclude)
+    if baseline_path is None:
+        return {
+            "comparable": False,
+            "regressed": False,
+            "note": "no committed baseline found",
+        }
+    base = load_points([baseline_path])[0]
+    new = point_from_report(report, "<current run>")
+    transition = compare_points(base, new, tolerance=tolerance, alpha=alpha)
+    if transition.get("regressed"):
+        raise TrajectoryRegressionError(
+            f"bench regressed vs {base.name}: "
+            f"{transition['slower']}/{transition['pairs']} jobs slower "
+            f"(p={transition['p_value']:.4f} < alpha={alpha})"
+        )
+    return transition
+
+
+def write_trajectory(
+    path: Path, report: Optional[Dict[str, Any]] = None, root: Path = Path(".")
+) -> Path:
+    """Write ``TRAJECTORY.json``; returns the path."""
+    if report is None:
+        report = build(root)
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def render_trajectory(report: Dict[str, Any]) -> str:
+    """Text rendering for ``repro trajectory``."""
+    lines: List[str] = [
+        f"bench trajectory ({report['mode']}, tolerance "
+        f"±{report['tolerance'] * 100.0:.0f}%, alpha {report['alpha']})",
+    ]
+    header = (
+        f"{'point':<18} {'timestamp':<20} {'suite':<6} {'metric':<6} "
+        f"{'best s':>8} {'caches x':>9} {'parallel x':>10}  commit"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in report["points"]:
+        speedups = point.get("speedups", {})
+        lines.append(
+            f"{point['name']:<18} {point['timestamp']:<20} "
+            f"{point['suite']:<6} {point['headline_metric']:<6} "
+            f"{point['headline_s']:>8.2f} "
+            f"{speedups.get('caches_only', 0.0):>9.2f} "
+            f"{speedups.get('parallel', 0.0):>10.2f}  "
+            f"{point.get('git_commit', '')[:12]}"
+        )
+    for transition in report["transitions"]:
+        if not transition.get("comparable"):
+            lines.append(
+                f"  {transition['base']} -> {transition['new']}: "
+                f"{transition.get('note', 'not comparable')}"
+            )
+            continue
+        headline = transition["headline"]
+        verdict = "REGRESSED" if transition["regressed"] else "ok"
+        lines.append(
+            f"  {transition['base']} -> {transition['new']}: "
+            f"{transition['faster']} faster / {transition['slower']} slower "
+            f"/ {transition['ties']} within band; "
+            f"headline {headline['base_s']:.2f}s -> {headline['new_s']:.2f}s "
+            f"({headline['relative'] * 100.0:+.1f}% {headline['metric']}); "
+            f"p={transition['p_value']:.4f} -> {verdict}"
+        )
+    regressions = report.get("regressions", [])
+    lines.append(
+        f"regression gate: {'FAIL' if regressions else 'pass'} "
+        f"({len(regressions)} flagged transition(s))"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Per-VP / per-tenant accounting: who used the host GPU, and how much.
+
+The accounting substrate the ROADMAP's ``repro serve`` daemon will bill
+tenants with.  Everything here derives from state the simulation already
+records — job timestamps in the dispatcher's completed log, coalesce
+membership, the scheduling policy's QoS configuration — so accounting is
+a pure *read* of a finished run: enabling it cannot perturb scheduling,
+and scenario digests stay bit-identical with accounting on or off.
+
+Emitted metric families (all prefixed ``account.``):
+
+* ``account.vp.<name>.busy_ms`` / ``.wait_ms`` — service time on host
+  engines vs time parked in the Job Queue (scheduling + coalescing
+  holds), per VP.
+* ``account.vp.<name>.jobs`` / ``.coalesced`` — jobs completed for the
+  VP, and how many of those rode inside a merged (coalesced) launch.
+* ``account.coalesce.share`` — fraction of all completed jobs served
+  via coalesced members (the multiplexing win the paper's Kernel
+  Coalescing section claims).
+* ``account.fairness.jain`` — Jain's fairness index over per-VP service
+  time: 1.0 when every VP got an equal share, ``1/n`` when one VP
+  monopolized the host GPU.  The natural scoreboard for the fair-share
+  DRR policy.
+* ``account.deadline.hits`` / ``.misses`` (+ per-VP) — completion-time
+  deadline attainment when the active policy declares QoS budgets
+  (duck-typed on ``budgets_ms``, i.e. the priority-deadline policy).
+
+Like everything in ``repro.obs``, this module is duck-typed against the
+framework (no import of ``repro.core``) and collection only runs when a
+metrics registry is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class VPUsage:
+    """One VP's resource-usage account for a finished run."""
+
+    vp: str
+    jobs: int = 0
+    coalesced_jobs: int = 0
+    busy_ms: float = 0.0
+    wait_ms: float = 0.0
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.busy_ms + self.wait_ms
+
+
+def jain_index(values: List[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 = perfectly fair; ``1/n`` = one party took everything.  An empty
+    or all-zero population is vacuously fair (1.0).
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares <= 0.0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
+def _deadline_for(policy: Any, job: Any) -> Optional[float]:
+    """The job's completion deadline under ``policy``, if it has QoS budgets.
+
+    Duck-typed on the priority-deadline policy's shape: ``budgets_ms``
+    (per-tier latency budgets) plus either ``_tier`` or
+    ``tiers``/``default_tier``.  Policies without budgets yield ``None``
+    (no deadline accounting).
+    """
+    budgets = getattr(policy, "budgets_ms", None)
+    if not budgets:
+        return None
+    tier_of = getattr(policy, "_tier", None)
+    if callable(tier_of):
+        tier = int(tier_of(job.vp))
+    else:
+        tiers = getattr(policy, "tiers", {})
+        tier = int(tiers.get(job.vp, getattr(policy, "default_tier", 0)))
+    tier = max(0, min(tier, len(budgets) - 1))
+    return float(job.submitted_at_ms) + float(budgets[tier])
+
+
+def compute_usage(framework: Any) -> Dict[str, VPUsage]:
+    """Per-VP usage accounts from the dispatcher's completed log.
+
+    Members of merged (coalesced) jobs inherit the merged job's dispatch
+    and completion points — they were absorbed, not individually served —
+    and are flagged as coalesced.  Synthetic merged-group rows (whose
+    ``vp`` names no attached session) are excluded, exactly like
+    :func:`repro.analysis.accounting.vp_accounts`.
+    """
+    sessions = getattr(framework, "sessions", {})
+    usage: Dict[str, VPUsage] = {
+        name: VPUsage(vp=name) for name in sorted(sessions)
+    }
+    dispatcher = getattr(framework, "dispatcher", None)
+    if dispatcher is None:
+        return usage
+    policy = getattr(dispatcher, "policy", None)
+
+    dispatch_point: Dict[int, float] = {}
+    member_ids: set = set()
+    for job in dispatcher.completed_log:
+        if job.dispatched_at_ms is not None:
+            dispatch_point[job.job_id] = job.dispatched_at_ms
+            for member in job.members:
+                dispatch_point.setdefault(member.job_id, job.dispatched_at_ms)
+                member_ids.add(member.job_id)
+
+    for job in dispatcher.completed_log:
+        account = usage.get(job.vp)
+        if account is None:
+            continue  # synthetic merged-group rows
+        dispatched = dispatch_point.get(job.job_id)
+        if dispatched is None or job.completed_at_ms is None:
+            continue
+        account.jobs += 1
+        if job.job_id in member_ids:
+            account.coalesced_jobs += 1
+        account.wait_ms += max(0.0, dispatched - job.submitted_at_ms)
+        account.busy_ms += max(0.0, job.completed_at_ms - dispatched)
+        deadline = _deadline_for(policy, job) if policy is not None else None
+        if deadline is not None:
+            if job.completed_at_ms <= deadline:
+                account.deadline_hits += 1
+            else:
+                account.deadline_misses += 1
+    return usage
+
+
+def coalesce_share(usage: Dict[str, VPUsage]) -> float:
+    """Fraction of completed per-VP jobs served inside merged launches."""
+    jobs = sum(u.jobs for u in usage.values())
+    if jobs == 0:
+        return 0.0
+    return sum(u.coalesced_jobs for u in usage.values()) / jobs
+
+
+def collect_accounts(
+    framework: Any, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, VPUsage]:
+    """Derive per-VP accounts and surface them as ``account.*`` metrics.
+
+    Called from :func:`repro.obs.metrics.collect_framework` at the end
+    of every captured run; safe to call directly on any finished
+    framework.  Returns the computed usage map so callers (the
+    ``repro account`` CLI) need not recompute it.
+    """
+    usage = compute_usage(framework)
+    if registry is None:
+        from . import metrics as _metrics_mod  # local: avoid cycle at import
+
+        registry = _metrics_mod.REGISTRY
+    if registry is None:
+        return usage
+
+    any_deadlines = False
+    for name in sorted(usage):
+        account = usage[name]
+        prefix = f"account.vp.{name}"
+        registry.gauge(f"{prefix}.busy_ms").set(account.busy_ms)
+        registry.gauge(f"{prefix}.wait_ms").set(account.wait_ms)
+        registry.counter(f"{prefix}.jobs").inc(account.jobs)
+        registry.counter(f"{prefix}.coalesced").inc(account.coalesced_jobs)
+        if account.deadline_hits or account.deadline_misses:
+            any_deadlines = True
+            registry.counter(f"{prefix}.deadline_hits").inc(account.deadline_hits)
+            registry.counter(f"{prefix}.deadline_misses").inc(account.deadline_misses)
+    registry.gauge("account.coalesce.share").set(coalesce_share(usage))
+    registry.gauge("account.fairness.jain").set(
+        jain_index([u.busy_ms for u in usage.values()])
+    )
+    if any_deadlines:
+        registry.counter("account.deadline.hits").inc(
+            sum(u.deadline_hits for u in usage.values())
+        )
+        registry.counter("account.deadline.misses").inc(
+            sum(u.deadline_misses for u in usage.values())
+        )
+    return usage
+
+
+def render_accounts(framework: Any) -> str:
+    """Text report for ``repro account``: the tenant billing table."""
+    from ..analysis.reporting import render_table  # local: avoid cycle
+
+    usage = compute_usage(framework)
+    share = coalesce_share(usage)
+    jain = jain_index([u.busy_ms for u in usage.values()])
+    has_deadlines = any(
+        u.deadline_hits or u.deadline_misses for u in usage.values()
+    )
+    headers = ["VP", "Jobs", "Coalesced", "Busy (ms)", "Wait (ms)"]
+    if has_deadlines:
+        headers += ["DL hit", "DL miss"]
+    rows: List[List[object]] = []
+    for name in sorted(usage):
+        u = usage[name]
+        row: List[object] = [u.vp, u.jobs, u.coalesced_jobs, u.busy_ms, u.wait_ms]
+        if has_deadlines:
+            row += [u.deadline_hits, u.deadline_misses]
+        rows.append(row)
+    table = render_table(headers, rows, title="Per-VP accounting (account.*)")
+    footer = (
+        f"\ncoalesce share: {share:.3f}"
+        f"\nJain fairness (busy_ms): {jain:.4f}"
+    )
+    return table + footer

@@ -12,7 +12,9 @@ module merges those buffers in the parent:
   its own pid block so tracks never collide;
 * **metrics** — counters and histograms sum bucket-wise (identical
   fixed edges are asserted); gauges are per-run statements, so they are
-  kept per job rather than falsely combined.
+  never summed: the merged snapshot carries them in a dedicated
+  ``gauges`` section labeled by originating job (see
+  :func:`merge_metric_snapshots` for the full per-kind policy).
 
 Everything operates on plain payload dicts (duck-typed against
 ``FarmResult``), so the module has no import edge back into
@@ -63,11 +65,26 @@ def merge_metric_snapshots(
 ) -> Dict[str, Any]:
     """Combine per-job metric snapshots into totals plus per-job detail.
 
-    Counters and histograms add; histogram edges must agree (they are
-    fixed constants, so a mismatch means two incompatible code
-    versions — raise rather than mis-merge).  Gauges stay per job.
+    Merge policy, by metric kind:
+
+    * **counter** — summed into ``totals``: counters are monotonic event
+      totals, so cross-job addition is exact.
+    * **histogram** — summed bucket-wise into ``totals``; edges must
+      agree (they are fixed constants, so a mismatch means two
+      incompatible code versions — raise rather than mis-merge).
+      Because edges are never derived from data, the merged histogram
+      is *exactly* the histogram one process observing every sample
+      would have produced.
+    * **gauge** — never enters ``totals``: a gauge is a last-written
+      per-run statement (a utilization, a horizon) with no meaningful
+      cross-job sum, and silently keeping one job's value would let a
+      last-writer masquerade as an aggregate.  Instead every gauge is
+      surfaced under ``gauges`` as ``name -> {job_label: value}``, so
+      readers always see which job said what (plus the full per-job
+      snapshots under ``per_job``).
     """
     totals: Dict[str, Dict[str, Any]] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
     per_job: Dict[str, Dict[str, Any]] = {}
     for label, snapshot in items:
         metrics = snapshot.get("metrics", snapshot)
@@ -75,6 +92,7 @@ def merge_metric_snapshots(
         for name, entry in metrics.items():
             kind = entry.get("type")
             if kind == "gauge":
+                gauges.setdefault(name, {})[label] = entry["value"]
                 continue
             merged = totals.get(name)
             if merged is None:
@@ -100,6 +118,9 @@ def merge_metric_snapshots(
     return {
         "schema": "repro.obs.metrics-merged/1",
         "totals": {name: totals[name] for name in sorted(totals)},
+        "gauges": {
+            name: dict(sorted(gauges[name].items())) for name in sorted(gauges)
+        },
         "per_job": {label: per_job[label] for label in sorted(per_job)},
     }
 

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
+import subprocess
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -64,13 +67,37 @@ def seed_for(key: str) -> int:
     return int(key[:8], 16) % (2**31 - 1)
 
 
+@lru_cache(maxsize=1)
+def git_commit() -> str:
+    """The working tree's HEAD commit hash, best-effort.
+
+    Empty outside a git repository (or when git itself is unavailable) —
+    artifacts must still export from a tarball checkout.  Cached for the
+    process lifetime: artifacts written by one run all came from one
+    revision.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
 def run_stamp(
     fn: str,
     kwargs: Dict[str, Any],
     seed: Optional[int] = None,
     label: str = "",
 ) -> Dict[str, Any]:
-    """Attributability header for exported artifacts."""
+    """Attributability header for exported artifacts.
+
+    Carries both the *configuration* identity (config hash + seed: what
+    was run) and the *code* identity (``git_commit``: which revision ran
+    it) so every artifact on disk maps to an exact, re-runnable point.
+    """
     key = config_key(fn, kwargs)
     return {
         "tool": "repro.obs",
@@ -80,6 +107,7 @@ def run_stamp(
         "config_hash": key,
         "seed": seed if seed is not None else seed_for(key),
         "label": label or fn.rpartition(":")[2],
+        "git_commit": git_commit(),
     }
 
 
@@ -253,10 +281,87 @@ def write_metrics(
     path: Union[str, Path],
     registry: Union[MetricsRegistry, Dict[str, Any]],
     stamp: Optional[Dict[str, Any]] = None,
+    prom: bool = True,
 ) -> Path:
+    """Write a stamped metrics JSON snapshot (+ a ``.prom`` sibling).
+
+    The Prometheus sibling (same stem, ``.prom`` suffix) makes every
+    snapshot scrapeable by standard tooling without a converter; pass
+    ``prom=False`` to write only the JSON.
+    """
     path = Path(path)
-    path.write_text(json.dumps(metrics_snapshot(registry, stamp), indent=1) + "\n")
+    snapshot = metrics_snapshot(registry, stamp)
+    path.write_text(json.dumps(snapshot, indent=1) + "\n")
+    if prom:
+        path.with_suffix(".prom").write_text(to_prometheus(snapshot))
     return path
+
+
+#: Characters legal in a Prometheus metric name (anything else becomes _).
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitize a dotted metric name into Prometheus form.
+
+    ``engine.gpu0/compute.busy_ms`` → ``repro_engine_gpu0_compute_busy_ms``.
+    """
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value (integral floats print as integers)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:
+    """Prometheus text-exposition rendering of a metrics snapshot.
+
+    Accepts either a stamped snapshot (:func:`metrics_snapshot` output)
+    or a bare ``name -> metric`` mapping.  Counters and gauges map
+    directly; histograms emit cumulative ``_bucket{le=...}`` series plus
+    ``_sum``/``_count``, per the exposition format.  The run stamp rides
+    along as comments and a ``<prefix>run_info`` gauge with
+    ``config_hash`` / ``git_commit`` labels, so one scrape is still
+    attributable to an exact configuration and revision.
+    """
+    metrics = snapshot.get("metrics", snapshot)
+    stamp = snapshot.get("stamp") or {}
+    lines: List[str] = []
+    if stamp:
+        label = stamp.get("label", "")
+        info_labels = (
+            f'label="{label}",'
+            f'config_hash="{stamp.get("config_hash", "")}",'
+            f'git_commit="{stamp.get("git_commit", "")}"'
+        )
+        lines.append(f"# repro.obs metrics export: {label}")
+        lines.append(f"# TYPE {prefix}run_info gauge")
+        lines.append(f"{prefix}run_info{{{info_labels}}} 1")
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry.get("type")
+        pname = prom_name(name, prefix)
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {pname} {kind}")
+            lines.append(f"{pname} {_prom_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for edge, count in zip(entry["edges"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{_prom_value(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {entry["count"]}')
+            lines.append(f"{pname}_sum {_prom_value(entry['sum'])}")
+            lines.append(f"{pname}_count {entry['count']}")
+    return "\n".join(lines) + "\n"
 
 
 def render_metrics(snapshot: Dict[str, Any]) -> str:

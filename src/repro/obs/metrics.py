@@ -219,7 +219,7 @@ class _Null:
 _NULL = _Null()
 
 
-def timed(name: str):
+def timed(name: str) -> Union[_Timed, _Null]:
     """Time a block of host wall-clock into ``selfprof.<name>_s``.
 
     Returns a shared no-op context manager when metrics are disabled, so
@@ -315,3 +315,7 @@ def collect_framework(framework: Any, registry: Optional[MetricsRegistry] = None
                 f"vp/{name}", name, start, end, cat="vp",
                 args={"vp": name, "stops": vp.stop_count},
             )
+
+    from . import account as account_mod  # local: keep module load light
+
+    account_mod.collect_accounts(framework, registry)

@@ -1,0 +1,244 @@
+"""Continuous telemetry: deterministic time-series sampling of metrics.
+
+PR 2's registry answers "what were the totals at the end of the run?";
+this module answers "how did they evolve *over* the run" — the view a
+long-running multi-tenant service (``repro serve``) needs for live
+dashboards and the partitioning work needs for utilization-over-time
+telemetry.
+
+Design constraints, in order:
+
+* **Determinism.**  Samples are taken at *simulated-time-aligned*
+  points: the sampler fires the first time the event loop crosses each
+  multiple of ``interval_ms`` in simulated milliseconds, and the sample
+  is stamped with the aligned boundary, not the (arbitrary) event time
+  that crossed it.  Two runs of the same scenario therefore produce
+  bit-identical series, and series from farm workers merge exactly —
+  there is no host clock anywhere in a sample.
+* **Zero cost when disabled.**  The module-level :data:`SAMPLER` is
+  ``None`` by default and the event loop's hook nests inside the
+  *metrics* registry guard, so a telemetry-off simulation pays nothing
+  (the existing ``REGISTRY is not None`` check) and a metrics-on /
+  sampler-off run pays one extra attribute check per event.
+* **Bounded memory.**  Each metric's samples live in a fixed-capacity
+  ring buffer; a million-event simulation keeps the newest ``capacity``
+  points per metric, never an unbounded log.
+
+Sampling is *read-only*: it copies counter/gauge values out of the
+active registry and never feeds anything back into scheduling, so
+scenario digests are bit-identical with sampling on or off (pinned by
+``tests/test_obs_timeseries.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import metrics as _metrics_mod
+from .metrics import MetricsRegistry
+
+#: The active sampler, or ``None`` when time-series sampling is off.
+#: The event loop reads this module attribute directly (nested inside
+#: its existing metrics-registry guard).
+SAMPLER: Optional["Sampler"] = None
+
+#: Default simulated-ms spacing between sample points.
+DEFAULT_INTERVAL_MS = 1.0
+
+#: Default per-metric ring capacity (newest samples win).
+DEFAULT_CAPACITY = 512
+
+#: Payload schema tag (mirrors ``repro.obs.trace/1``).
+SCHEMA = "repro.obs.timeseries/1"
+
+
+class RingBuffer:
+    """Fixed-capacity ring of ``(t_ms, value)`` samples.
+
+    Appends are O(1); when full, the oldest sample is overwritten.
+    :meth:`items` returns chronological order regardless of wrap.
+    """
+
+    __slots__ = ("capacity", "_slots", "_next", "total")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._slots: List[Tuple[float, float]] = []
+        self._next = 0
+        #: Samples ever appended (so droppage is visible: ``total`` may
+        #: exceed ``len(self)`` once the ring has wrapped).
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def append(self, t_ms: float, value: float) -> None:
+        if len(self._slots) < self.capacity:
+            self._slots.append((t_ms, value))
+        else:
+            self._slots[self._next] = (t_ms, value)
+            self._next = (self._next + 1) % self.capacity
+        self.total += 1
+
+    def items(self) -> List[Tuple[float, float]]:
+        """Samples oldest-first (un-wrapping the ring)."""
+        if len(self._slots) < self.capacity:
+            return list(self._slots)
+        return self._slots[self._next:] + self._slots[:self._next]
+
+
+class Sampler:
+    """Records counter/gauge values at aligned simulated-time points.
+
+    The event loop calls :meth:`sample` whenever simulated time reaches
+    :attr:`next_due_ms`; the sampler stamps the sample with the aligned
+    boundary (``floor(now / interval) * interval``) so sample timestamps
+    are a pure function of simulated time, independent of which event
+    happened to cross the boundary.
+
+    ``names`` restricts sampling to an explicit watchlist; by default
+    every counter and gauge present in the registry at each sample point
+    is recorded (histograms are cumulative distributions, not sampled —
+    their end-of-run snapshot already aggregates exactly).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval_ms: float = DEFAULT_INTERVAL_MS,
+        capacity: int = DEFAULT_CAPACITY,
+        names: Optional[List[str]] = None,
+    ) -> None:
+        if interval_ms <= 0.0:
+            raise ValueError(f"interval_ms must be > 0, got {interval_ms}")
+        self.registry = registry
+        self.interval_ms = float(interval_ms)
+        self.capacity = capacity
+        self.names = list(names) if names is not None else None
+        self.series: Dict[str, RingBuffer] = {}
+        self.kinds: Dict[str, str] = {}
+        #: Next simulated time at or past which a sample is due.  Starts
+        #: at 0.0 so the run's initial state is the first sample.
+        self.next_due_ms = 0.0
+        self.samples_taken = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Sampler interval={self.interval_ms}ms "
+            f"series={len(self.series)} samples={self.samples_taken}>"
+        )
+
+    def _registry(self) -> Optional[MetricsRegistry]:
+        return self.registry if self.registry is not None else _metrics_mod.REGISTRY
+
+    def sample(self, now_ms: float) -> None:
+        """Take one sample at the boundary at or below ``now_ms``.
+
+        A fresh :class:`~repro.sim.Environment` restarts simulated time
+        at zero; when time moves backwards the sampler simply re-aligns
+        (the ring keeps both runs' samples, ordered by append).
+        """
+        registry = self._registry()
+        if registry is None:
+            return
+        aligned = (now_ms // self.interval_ms) * self.interval_ms
+        snapshot = registry.snapshot()
+        names = self.names if self.names is not None else sorted(snapshot)
+        for name in names:
+            entry = snapshot.get(name)
+            if entry is None or entry["type"] not in ("counter", "gauge"):
+                continue
+            ring = self.series.get(name)
+            if ring is None:
+                ring = self.series[name] = RingBuffer(self.capacity)
+                self.kinds[name] = entry["type"]
+            ring.append(aligned, entry["value"])
+        self.samples_taken += 1
+        self.next_due_ms = aligned + self.interval_ms
+
+    # -- derivation ---------------------------------------------------------
+
+    def deltas(self, name: str) -> List[Tuple[float, float]]:
+        """Per-window ``(t_end, value_delta)`` pairs for one series."""
+        ring = self.series.get(name)
+        if ring is None:
+            return []
+        items = ring.items()
+        return [
+            (t1, v1 - v0)
+            for (t0, v0), (t1, v1) in zip(items, items[1:])
+        ]
+
+    def rates(self, name: str) -> List[Tuple[float, float]]:
+        """Per-window ``(t_end, value/ms)`` rates for one series.
+
+        Windows of zero simulated length (time moved backwards on an
+        environment reset, or two aligned points coincide) derive a rate
+        of ``0.0`` rather than dividing by zero — a zero-length window
+        carries no throughput information.
+        """
+        ring = self.series.get(name)
+        if ring is None:
+            return []
+        items = ring.items()
+        out: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, v1) in zip(items, items[1:]):
+            dt = t1 - t0
+            out.append((t1, (v1 - v0) / dt if dt > 0.0 else 0.0))
+        return out
+
+    # -- serialization ------------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-able dump (the farm's worker->parent wire shape)."""
+        return {
+            "schema": SCHEMA,
+            "interval_ms": self.interval_ms,
+            "capacity": self.capacity,
+            "samples_taken": self.samples_taken,
+            "series": {
+                name: {
+                    "kind": self.kinds[name],
+                    "t": [t for t, _ in ring.items()],
+                    "v": [v for _, v in ring.items()],
+                    "total": ring.total,
+                }
+                for name, ring in sorted(self.series.items())
+            },
+        }
+
+
+def counter_rate(
+    t: List[float], v: List[float]
+) -> List[Tuple[float, float]]:
+    """Rate derivation over parallel ``t``/``v`` arrays (payload form).
+
+    Zero-length windows (``dt == 0``) derive ``0.0`` — see
+    :meth:`Sampler.rates`.
+    """
+    out: List[Tuple[float, float]] = []
+    for t0, v0, t1, v1 in zip(t, v, t[1:], v[1:]):
+        dt = t1 - t0
+        out.append((t1, (v1 - v0) / dt if dt > 0.0 else 0.0))
+    return out
+
+
+def enabled() -> bool:
+    """Whether a sampler is currently collecting."""
+    return SAMPLER is not None
+
+
+def enable(sampler: Optional[Sampler] = None) -> Sampler:
+    """Install ``sampler`` (or a fresh default one) as the active sampler."""
+    global SAMPLER
+    SAMPLER = sampler if sampler is not None else Sampler()
+    return SAMPLER
+
+
+def disable() -> Optional[Sampler]:
+    """Stop sampling; returns the sampler that was active (if any)."""
+    global SAMPLER
+    previous, SAMPLER = SAMPLER, None
+    return previous

@@ -247,6 +247,12 @@ class SchedulerPipeline:
             registry.histogram(
                 "dispatch.candidates", _obs_metrics.DEPTH_BUCKETS
             ).observe(len(candidates))
+            # Queue delay = submit -> this dispatch decision; the live
+            # per-decision signal behind the ``account.vp.*.wait_ms``
+            # end-of-run gauges.
+            registry.histogram(
+                "sched.queue_delay_ms", _obs_metrics.MS_BUCKETS
+            ).observe(max(0.0, now - choice.submitted_at_ms))
         if rejected:
             registry.counter("sched.admission.rejected").inc(rejected)
         if deadlines:

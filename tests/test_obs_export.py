@@ -23,11 +23,14 @@ from repro.exec import FarmJob
 from repro.exec.jobs import scenario_summary
 from repro.obs import (
     config_key,
+    git_commit,
     metrics_snapshot,
+    prom_name,
     render_metrics,
     run_stamp,
     seed_for,
     to_chrome_trace,
+    to_prometheus,
     validate_chrome_trace,
     write_metrics,
     write_trace,
@@ -132,6 +135,35 @@ class TestChromeTrace:
         assert validate_chrome_trace(loaded) == []
 
 
+class TestEmptyCapture:
+    def test_empty_capture_exports_valid_artifacts(self, tmp_path):
+        with obs.capture() as cap:
+            pass  # nothing ran: zero spans, zero metrics
+        stamp = run_stamp(FN, KWARGS)
+        trace = to_chrome_trace([("empty", cap.tracer)], stamp)
+        assert validate_chrome_trace(trace) == []
+        assert [e for e in trace["traceEvents"] if e["ph"] != "M"] == []
+        path = write_trace(tmp_path / "empty.json", [("empty", cap.tracer)], stamp)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+        metrics_path = write_metrics(tmp_path / "empty_m.json", cap.registry, stamp)
+        loaded = json.loads(metrics_path.read_text())
+        assert loaded["metrics"] == {}
+        assert loaded["stamp"]["config_hash"] == stamp["config_hash"]
+
+
+class TestGitCommitStamp:
+    def test_stamp_carries_git_commit(self):
+        stamp = run_stamp(FN, KWARGS)
+        assert "git_commit" in stamp
+        # In this repo's checkout the hash resolves; the field contract
+        # is "full hex hash or empty string", never missing.
+        commit = stamp["git_commit"]
+        assert commit == "" or (
+            len(commit) == 40 and all(c in "0123456789abcdef" for c in commit)
+        )
+        assert git_commit() == commit  # cached: one revision per process
+
+
 class TestMetricsExport:
     def test_snapshot_and_render(self, captured):
         snap = metrics_snapshot(captured.registry, run_stamp(FN, KWARGS))
@@ -139,6 +171,62 @@ class TestMetricsExport:
         text = render_metrics(snap)
         assert "dispatch.decisions" in text
         assert snap["stamp"]["config_hash"] in text
+
+    def test_write_metrics_emits_prom_sibling(self, captured, tmp_path):
+        path = write_metrics(
+            tmp_path / "m.json", captured.registry, run_stamp(FN, KWARGS)
+        )
+        sibling = path.with_suffix(".prom")
+        assert sibling.is_file()
+        text = sibling.read_text()
+        assert "# TYPE repro_dispatch_decisions counter" in text
+        assert 'repro_run_info{label="scenario_summary",' in text
+
+    def test_write_metrics_can_skip_prom(self, captured, tmp_path):
+        path = write_metrics(
+            tmp_path / "no_prom.json",
+            captured.registry,
+            run_stamp(FN, KWARGS),
+            prom=False,
+        )
+        assert not path.with_suffix(".prom").exists()
+
+
+class TestPrometheusExposition:
+    def test_name_sanitization(self):
+        assert (
+            prom_name("engine.gpu0/compute.busy_ms")
+            == "repro_engine_gpu0_compute_busy_ms"
+        )
+        assert prom_name("0weird").startswith("repro__0weird")
+
+    def test_counter_gauge_and_histogram_shapes(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(0.5)
+        h = registry.histogram("h", (1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_c counter\nrepro_c 3" in text
+        assert "# TYPE repro_g gauge\nrepro_g 0.5" in text
+        # Cumulative buckets: le=1 -> 1, le=10 -> 2, +Inf -> 3.
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="10"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_count 3" in text
+
+    def test_run_info_carries_identity_labels(self, captured):
+        stamp = run_stamp(FN, KWARGS, label="va2")
+        text = to_prometheus(metrics_snapshot(captured.registry, stamp))
+        assert (
+            f'repro_run_info{{label="va2",'
+            f'config_hash="{stamp["config_hash"]}",'
+            f'git_commit="{stamp["git_commit"]}"}} 1'
+        ) in text
 
 
 class TestTimelineFromTrace:

@@ -1,0 +1,192 @@
+"""Tests for ``repro.obs.timeseries``: deterministic metric sampling.
+
+Pins the module's three design constraints: samples land on
+simulated-time-aligned boundaries (determinism), the event-loop hook is
+free when sampling is off (cost discipline, via tracemalloc), and ring
+buffers bound memory while keeping droppage visible.
+"""
+
+import tracemalloc
+
+import pytest
+
+import repro.obs as obs
+from repro.exec.jobs import scenario_summary
+from repro.obs import timeseries as ts_mod
+from repro.obs.export import canonical_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import RingBuffer, Sampler, counter_rate
+
+
+def _run_scenario():
+    return scenario_summary(app="vectorAdd", n_vps=2)
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_items_before_wrap_are_in_append_order(self):
+        ring = RingBuffer(4)
+        ring.append(0.0, 1.0)
+        ring.append(1.0, 2.0)
+        assert ring.items() == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ring) == 2
+        assert ring.total == 2
+
+    def test_wrap_keeps_newest_and_counts_droppage(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.append(float(i), float(i * 10))
+        assert ring.items() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert len(ring) == 3
+        assert ring.total == 5  # droppage visible: total > len
+
+
+class TestSamplerAlignment:
+    def test_sample_stamps_aligned_boundary_not_event_time(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        sampler = Sampler(registry=registry, interval_ms=1.0)
+        sampler.sample(3.7)
+        assert sampler.series["c"].items() == [(3.0, 3.0)]
+        assert sampler.next_due_ms == 4.0
+
+    def test_first_sample_is_due_at_time_zero(self):
+        sampler = Sampler(registry=MetricsRegistry())
+        assert sampler.next_due_ms == 0.0
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Sampler(interval_ms=0.0)
+
+    def test_watchlist_restricts_sampled_names(self):
+        registry = MetricsRegistry()
+        registry.counter("keep").inc()
+        registry.counter("drop").inc()
+        sampler = Sampler(registry=registry, names=["keep"])
+        sampler.sample(1.0)
+        assert sorted(sampler.series) == ["keep"]
+
+    def test_histograms_are_not_sampled(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(2.0)
+        sampler = Sampler(registry=registry)
+        sampler.sample(0.0)
+        assert sorted(sampler.series) == ["g"]
+        assert sampler.kinds["g"] == "gauge"
+
+
+class TestDerivation:
+    def _two_sample_counter(self):
+        registry = MetricsRegistry()
+        sampler = Sampler(registry=registry, interval_ms=1.0)
+        registry.counter("c").inc(2)
+        sampler.sample(1.0)
+        registry.counter("c").inc(6)
+        sampler.sample(3.0)
+        return sampler
+
+    def test_deltas(self):
+        sampler = self._two_sample_counter()
+        assert sampler.deltas("c") == [(3.0, 6.0)]
+
+    def test_rates(self):
+        sampler = self._two_sample_counter()
+        assert sampler.rates("c") == [(3.0, 3.0)]  # 6 over 2 ms
+
+    def test_zero_length_window_rate_is_zero(self):
+        registry = MetricsRegistry()
+        sampler = Sampler(registry=registry, interval_ms=1.0)
+        registry.counter("c").inc()
+        sampler.sample(1.2)  # aligned to 1.0
+        registry.counter("c").inc()
+        sampler.sample(1.9)  # aligned to 1.0 again: dt == 0
+        assert sampler.rates("c") == [(1.0, 0.0)]
+
+    def test_counter_rate_matches_payload_form(self):
+        assert counter_rate([0.0, 1.0, 1.0], [0.0, 5.0, 9.0]) == [
+            (1.0, 5.0),
+            (1.0, 0.0),
+        ]
+
+    def test_unknown_series_is_empty(self):
+        sampler = Sampler(registry=MetricsRegistry())
+        assert sampler.deltas("ghost") == []
+        assert sampler.rates("ghost") == []
+
+
+class TestScenarioSampling:
+    def test_capture_with_interval_records_aligned_series(self):
+        with obs.capture(sample_interval_ms=0.5) as cap:
+            _run_scenario()
+        payload = cap.timeseries_payload()
+        assert payload is not None
+        assert payload["schema"] == ts_mod.SCHEMA
+        assert payload["samples_taken"] > 0
+        assert "sim.events_processed" in payload["series"]
+        for series in payload["series"].values():
+            for t in series["t"]:
+                # every sample timestamp lies on a 0.5 ms boundary
+                assert t == (t // 0.5) * 0.5
+
+    def test_sampling_is_deterministic(self):
+        payloads = []
+        for _ in range(2):
+            with obs.capture(sample_interval_ms=0.5) as cap:
+                _run_scenario()
+            payloads.append(cap.timeseries_payload())
+        assert canonical_json(payloads[0]) == canonical_json(payloads[1])
+
+    def test_results_identical_with_and_without_sampling(self):
+        plain = _run_scenario()
+        with obs.capture(sample_interval_ms=0.25):
+            sampled = _run_scenario()
+        assert canonical_json(plain) == canonical_json(sampled)
+
+    def test_capture_without_interval_has_no_sampler(self):
+        with obs.capture() as cap:
+            assert ts_mod.SAMPLER is None
+            _run_scenario()
+        assert cap.timeseries_payload() is None
+
+    def test_capture_restores_previous_sampler(self):
+        with obs.capture(sample_interval_ms=1.0) as outer:
+            with obs.capture(sample_interval_ms=2.0):
+                assert ts_mod.SAMPLER is not outer.sampler
+            assert ts_mod.SAMPLER is outer.sampler
+        assert ts_mod.SAMPLER is None
+
+
+class TestModuleState:
+    def test_enable_disable_roundtrip(self):
+        assert not ts_mod.enabled()
+        sampler = ts_mod.enable()
+        try:
+            assert ts_mod.enabled()
+            assert ts_mod.SAMPLER is sampler
+        finally:
+            assert ts_mod.disable() is sampler
+        assert ts_mod.SAMPLER is None
+
+
+class TestDisabledCost:
+    def test_metrics_on_sampler_off_allocates_nothing_in_timeseries(self):
+        # Warm everything (imports, caches, registry paths) first.
+        with obs.capture():
+            _run_scenario()
+        ts_file = tracemalloc.Filter(True, "*/repro/obs/timeseries.py")
+        tracemalloc.start()
+        try:
+            with obs.capture():
+                _run_scenario()
+            snapshot = tracemalloc.take_snapshot().filter_traces([ts_file])
+        finally:
+            tracemalloc.stop()
+        stats = snapshot.statistics("filename")
+        assert stats == [], (
+            "timeseries module allocated with sampling off: "
+            + ", ".join(f"{s.traceback}: {s.size}B" for s in stats)
+        )

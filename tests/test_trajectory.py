@@ -1,0 +1,251 @@
+"""Tests for ``repro.exec.trajectory``: the bench-history regression gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec.trajectory import (
+    TrajectoryError,
+    TrajectoryRegressionError,
+    build,
+    compare_bench_report,
+    compare_points,
+    discover_bench_paths,
+    gate,
+    load_points,
+    newest_bench_path,
+    point_from_report,
+    render_trajectory,
+    sign_test_pvalue,
+    write_trajectory,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _report(name, timestamp, per_job_s, suite="full", workers=4, cpu_s=10.0):
+    return {
+        "timestamp": timestamp,
+        "suite": suite,
+        "workers": workers,
+        "digest": f"digest-{name}",
+        "git_commit": f"commit-{name}",
+        "speedups": {"caches_only": 1.5, "parallel": 2.0},
+        "modes": {
+            "serial_warm": {
+                "wall_s": cpu_s * 1.1,
+                "cpu_s": cpu_s,
+                "per_job_s": dict(per_job_s),
+            }
+        },
+    }
+
+
+def _point(name, timestamp, per_job_s, **kwargs):
+    return point_from_report(_report(name, timestamp, per_job_s, **kwargs), name)
+
+
+JOBS = {f"job{i}": 1.0 for i in range(10)}
+
+
+class TestSignTest:
+    def test_exact_tail_values(self):
+        assert sign_test_pvalue(10, 10) == pytest.approx(1.0 / 1024.0)
+        assert sign_test_pvalue(9, 10) == pytest.approx(11.0 / 1024.0)
+        assert sign_test_pvalue(0, 10) == pytest.approx(1.0)
+
+    def test_empty_population_never_significant(self):
+        assert sign_test_pvalue(0, 0) == 1.0
+
+
+class TestComparePoints:
+    def test_uniform_slowdown_regresses(self):
+        base = _point("base", "2026-01-01T00:00:00", JOBS)
+        slow = _point(
+            "slow", "2026-01-02T00:00:00", {k: 1.5 for k in JOBS}
+        )
+        verdict = compare_points(base, slow)
+        assert verdict["comparable"]
+        assert verdict["slower"] == 10 and verdict["faster"] == 0
+        assert verdict["p_value"] == pytest.approx(1.0 / 1024.0)
+        assert verdict["regressed"]
+
+    def test_single_noisy_job_cannot_fail(self):
+        noisy_jobs = dict(JOBS)
+        noisy_jobs["job0"] = 5.0  # one job 5x slower
+        base = _point("base", "2026-01-01T00:00:00", JOBS)
+        noisy = _point("noisy", "2026-01-02T00:00:00", noisy_jobs)
+        verdict = compare_points(base, noisy)
+        assert verdict["slower"] == 1
+        assert not verdict["regressed"]
+
+    def test_changes_inside_tolerance_band_are_ties(self):
+        base = _point("base", "2026-01-01T00:00:00", JOBS)
+        jitter = _point(
+            "jitter", "2026-01-02T00:00:00", {k: 1.05 for k in JOBS}
+        )
+        verdict = compare_points(base, jitter, tolerance=0.10)
+        assert verdict["ties"] == 10
+        assert verdict["slower"] == verdict["faster"] == 0
+        assert not verdict["regressed"]
+
+    def test_uniform_speedup_never_regresses(self):
+        base = _point("base", "2026-01-01T00:00:00", JOBS)
+        fast = _point("fast", "2026-01-02T00:00:00", {k: 0.5 for k in JOBS})
+        verdict = compare_points(base, fast)
+        assert verdict["faster"] == 10
+        assert not verdict["regressed"]
+
+    def test_mismatched_suite_or_workers_not_comparable(self):
+        base = _point("base", "2026-01-01T00:00:00", JOBS)
+        other = _point(
+            "other", "2026-01-02T00:00:00", JOBS, workers=2
+        )
+        verdict = compare_points(base, other)
+        assert not verdict["comparable"]
+        assert not verdict["regressed"]
+
+    def test_headline_prefers_cpu_falls_back_to_wall(self):
+        with_cpu = _point("a", "2026-01-01T00:00:00", JOBS, cpu_s=10.0)
+        assert with_cpu.headline_metric == "cpu"
+        assert with_cpu.headline_s == pytest.approx(10.0)
+        report = _report("b", "2026-01-01T00:00:00", JOBS)
+        del report["modes"]["serial_warm"]["cpu_s"]
+        wall_only = point_from_report(report, "b")
+        assert wall_only.headline_metric == "wall"
+        assert wall_only.headline_s == pytest.approx(11.0)
+
+
+class TestDiscoveryAndOrdering:
+    def test_load_points_orders_by_timestamp_not_name(self, tmp_path):
+        # Name order disagrees with timestamp order on purpose.
+        (tmp_path / "BENCH_A.json").write_text(
+            json.dumps(_report("A", "2026-03-01T00:00:00", JOBS))
+        )
+        (tmp_path / "BENCH_B.json").write_text(
+            json.dumps(_report("B", "2026-01-01T00:00:00", JOBS))
+        )
+        points = load_points(sorted(tmp_path.glob("BENCH_*.json")))
+        assert [p.name for p in points] == ["BENCH_B.json", "BENCH_A.json"]
+
+    def test_discover_falls_back_to_glob_outside_git(self, tmp_path):
+        (tmp_path / "BENCH_X.json").write_text(json.dumps(_report("X", "t", {})))
+        assert [p.name for p in discover_bench_paths(tmp_path)] == [
+            "BENCH_X.json"
+        ]
+
+    def test_newest_bench_path_honors_exclude(self, tmp_path):
+        (tmp_path / "BENCH_OLD.json").write_text(
+            json.dumps(_report("old", "2026-01-01T00:00:00", JOBS))
+        )
+        newest = tmp_path / "BENCH_NEW.json"
+        newest.write_text(
+            json.dumps(_report("new", "2026-02-01T00:00:00", JOBS))
+        )
+        assert newest_bench_path(tmp_path).name == "BENCH_NEW.json"
+        assert (
+            newest_bench_path(tmp_path, exclude=newest).name
+            == "BENCH_OLD.json"
+        )
+
+    def test_unreadable_report_raises_trajectory_error(self, tmp_path):
+        bad = tmp_path / "BENCH_BAD.json"
+        bad.write_text("{not json")
+        with pytest.raises(TrajectoryError):
+            load_points([bad])
+
+
+class TestBuildAndGate:
+    def test_build_requires_points(self, tmp_path):
+        with pytest.raises(TrajectoryError):
+            build(tmp_path)
+
+    def test_clean_history_passes_gate(self, tmp_path):
+        for name, ts, scale in [
+            ("BENCH_1.json", "2026-01-01T00:00:00", 1.0),
+            ("BENCH_2.json", "2026-02-01T00:00:00", 0.8),
+            ("BENCH_3.json", "2026-03-01T00:00:00", 0.7),
+        ]:
+            (tmp_path / name).write_text(
+                json.dumps(
+                    _report(name, ts, {k: scale for k in JOBS}, cpu_s=10 * scale)
+                )
+            )
+        report = build(tmp_path)
+        assert len(report["points"]) == 3
+        assert len(report["transitions"]) == 2
+        assert report["regressions"] == []
+        gate(report)  # must not raise
+        text = render_trajectory(report)
+        assert "regression gate: pass" in text
+
+    def test_injected_slowdown_fails_gate(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps(_report("1", "2026-01-01T00:00:00", JOBS))
+        )
+        (tmp_path / "BENCH_2.json").write_text(
+            json.dumps(
+                _report(
+                    "2", "2026-02-01T00:00:00", {k: 1.5 for k in JOBS},
+                    cpu_s=15.0,
+                )
+            )
+        )
+        report = build(tmp_path)
+        assert len(report["regressions"]) == 1
+        with pytest.raises(TrajectoryRegressionError):
+            gate(report)
+        assert "regression gate: FAIL" in render_trajectory(report)
+
+    def test_write_trajectory_roundtrips(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps(_report("1", "2026-01-01T00:00:00", JOBS))
+        )
+        out = write_trajectory(tmp_path / "TRAJECTORY.json", root=tmp_path)
+        loaded = json.loads(out.read_text())
+        assert loaded["schema"] == "repro.exec.trajectory/1"
+        assert [p["name"] for p in loaded["points"]] == ["BENCH_1.json"]
+
+
+class TestCompareBenchReport:
+    def test_fresh_regression_raises(self, tmp_path):
+        (tmp_path / "BENCH_BASE.json").write_text(
+            json.dumps(_report("base", "2026-01-01T00:00:00", JOBS))
+        )
+        fresh = _report("fresh", "2026-02-01T00:00:00", {k: 2.0 for k in JOBS})
+        with pytest.raises(TrajectoryRegressionError):
+            compare_bench_report(fresh, root=tmp_path)
+
+    def test_fresh_clean_run_passes(self, tmp_path):
+        (tmp_path / "BENCH_BASE.json").write_text(
+            json.dumps(_report("base", "2026-01-01T00:00:00", JOBS))
+        )
+        fresh = _report("fresh", "2026-02-01T00:00:00", dict(JOBS))
+        verdict = compare_bench_report(fresh, root=tmp_path)
+        assert verdict["comparable"] and not verdict["regressed"]
+
+    def test_no_baseline_is_not_comparable(self, tmp_path):
+        fresh = _report("fresh", "2026-02-01T00:00:00", JOBS)
+        verdict = compare_bench_report(fresh, root=tmp_path)
+        assert not verdict["comparable"] and not verdict["regressed"]
+
+
+class TestCommittedHistory:
+    """The real repository history is itself a fixture: it must gate clean."""
+
+    def test_committed_bench_reports_build_and_pass(self):
+        paths = discover_bench_paths(REPO_ROOT)
+        assert paths, "repository should carry committed BENCH_*.json files"
+        report = build(REPO_ROOT)
+        assert len(report["points"]) == len(paths)
+        assert report["regressions"] == [], render_trajectory(report)
+
+    def test_injected_slowdown_on_real_history_is_caught(self):
+        points = load_points(discover_bench_paths(REPO_ROOT))
+        base = points[-1]
+        slow = copy.deepcopy(base)
+        slow.per_job_s = {k: v * 1.5 for k, v in slow.per_job_s.items()}
+        verdict = compare_points(base, slow)
+        assert verdict["regressed"], verdict
