@@ -73,6 +73,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _shards_value(text: str) -> object:
+    """argparse type for ``--shards``: a domain count or a plan name."""
+    value = text.strip().lower()
+    if value in ("", "none", "0", "1"):
+        return None
+    if value.isdigit():
+        return int(value)
+    if value in ("per-gpu", "per-vp-group"):
+        return value
+    raise ValueError(
+        f"need a domain count, 'per-gpu' or 'per-vp-group', got {text!r}"
+    )
+
+
 def _sched_options(parser_: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the scheduling-stage overrides (see ``repro policies``)."""
     parser_.add_argument("--policy", default=None, metavar="NAME",
@@ -116,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--transport", choices=("socket", "shm"), default="socket")
     run.add_argument("--functional", action="store_true",
                      help="execute kernels numerically (numpy)")
+    run.add_argument("--shards", type=_shards_value, default=None,
+                     metavar="N|per-gpu|per-vp-group",
+                     help="partition the event loop into time-decoupled "
+                          "simulation domains (results are bit-identical "
+                          "to the serial engine)")
     run.add_argument("--gantt", action="store_true",
                      help="print the engine timeline")
     run.add_argument("--account", action="store_true",
@@ -150,8 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="farm worker processes for the parallel mode")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset of the pinned suite")
-    bench.add_argument("-o", "--output", default="BENCH_PR7.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR8.json",
                        help="JSON report path (use '-' to skip writing)")
+    bench.add_argument("--no-shard", action="store_true",
+                       help="skip the domain-sharding section "
+                            "(sharded / sharded_mp modes)")
     bench.add_argument("--trace", action="store_true",
                        help="add a traced parallel mode and write one "
                             "merged multi-worker trace")
@@ -317,6 +339,8 @@ def _cmd_run_sweep(args: argparse.Namespace, vps_list: List[int]) -> None:
                 # Only non-default stages enter the kwargs, so default
                 # sweeps keep their pre-existing config-hash keys.
                 **_sched_kwargs(args),
+                **({"shards": args.shards}
+                   if getattr(args, "shards", None) is not None else {}),
             },
             label=f"{args.app}:{n}vps",
         )
@@ -362,7 +386,19 @@ def _cmd_run(args: argparse.Namespace) -> None:
         registry_kwargs["registry"] = FunctionalRegistry()
     from .sched import SchedulerConfig
 
+    env = None
+    if args.shards is not None:
+        from .sim import ShardedEnvironment
+        from .sim.domains import scenario_plan
+
+        plan = scenario_plan(
+            args.shards, args.vps, args.gpus,
+            default_placement=args.placement in (None, "round-robin"),
+        )
+        if plan is not None:
+            env = ShardedEnvironment(plan)
     framework = SigmaVP(
+        env=env,
         transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
         interleaving=not args.no_interleaving,
         coalescing=not args.no_coalescing,
@@ -384,6 +420,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"coalescer: {stats.merges} merges covering "
               f"{stats.kernels_coalesced} kernels")
     print(f"kernels profiled: {len(framework.profiler)}")
+    stats_fn = getattr(framework.env, "domain_stats", None)
+    if callable(stats_fn):
+        stats = stats_fn()
+        print(f"domains: {stats['domains']} (plan {stats['plan']}), "
+              f"lookahead {stats['lookahead_ms']:.3f} ms, "
+              f"{stats['epochs']} epochs, "
+              f"{stats['switches']} domain switches")
     if args.gantt:
         print()
         print(render_gantt(collect_timeline(framework)))
@@ -695,6 +738,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy=args.policy,
             placement=args.placement,
             compare=args.compare,
+            shard=not args.no_shard,
         )
         print(render_report(report))
         if args.output != "-":

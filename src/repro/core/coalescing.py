@@ -129,6 +129,18 @@ class KernelCoalescer:
         self._triples_queue: Optional[JobQueue] = None
         self._triples_cache: Dict[tuple, List[Triple]] = {}
 
+    def declare_domain_edges(self, plan) -> None:
+        """Declare coalescing-window edges for a sharded simulation plan.
+
+        A merge joins requests from several VP domains; the soonest a new
+        arrival can alter an open group's fate is the settle window after
+        the previous arrival, so the settle period bounds cross-domain
+        reaction time at the coalescing boundary.
+        """
+        plan.declare_edge(
+            "vp:*", "dispatcher:host", self.settle_ms, kind="coalesce-window"
+        )
+
     # -- triple discovery --------------------------------------------------
 
     def find_triples(self, queue: JobQueue) -> Dict[tuple, List[Triple]]:

@@ -149,7 +149,7 @@ class JobDispatcher:
         self.completed_log: List[Job] = []
         self._inflight: Dict[str, Job] = {}
         self._wake: Event = env.event()
-        self._process = env.process(self._run())
+        self._process = env.process(self._run(), label="dispatcher:host/run")
 
     def __repr__(self) -> str:
         return (
@@ -210,7 +210,12 @@ class JobDispatcher:
                 registry.histogram(
                     "jobqueue.depth_at_dispatch", _obs_metrics.DEPTH_BUCKETS
                 ).observe(len(self.queue))
-            execution = self.env.process(self._execute(job, expected))
+            # Labeled by bound device so sharded environments keep a
+            # job's execution events on its device's domain heap.
+            execution = self.env.process(
+                self._execute(job, expected),
+                label=f"gpu:{job.device}/execute({job.vp}#{job.seq})",
+            )
             if self.mode is ServiceMode.SERIAL:
                 yield execution
 

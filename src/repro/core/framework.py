@@ -77,8 +77,8 @@ class SigmaVP:
         # devices share one kernel compiler so compilation caches once.
         shared_compiler = KernelCompiler()
         self.gpus = [
-            HostGPU(self.env, host_arch, compiler=shared_compiler)
-            for _ in range(n_host_gpus)
+            HostGPU(self.env, host_arch, compiler=shared_compiler, index=i)
+            for i in range(n_host_gpus)
         ]
         self.gpu = self.gpus[0]
         self.queue = JobQueue(self.env)
@@ -135,6 +135,18 @@ class SigmaVP:
             # Triples merge only within one device's VPs.
             coalescer.gpus = self.gpus
             coalescer.device_of = self.dispatcher.device_index_for
+
+        # Sharded environments carry a DomainPlan; components declare
+        # their cross-domain edges so the conservative lookahead derives
+        # from real latencies (IPC transport, coalescing settle window).
+        plan = getattr(self.env, "plan", None)
+        if plan is not None:
+            self.ipc.declare_domain_edges(plan)
+            if coalescer is not None:
+                coalescer.declare_domain_edges(plan)
+            refresh = getattr(self.env, "refresh_lookahead", None)
+            if callable(refresh):
+                refresh()
 
         self.sessions: Dict[str, VPSession] = {}
         self._vp_cpu = vp_cpu

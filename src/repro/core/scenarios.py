@@ -21,7 +21,8 @@ from ..gpu.arch import GPUArchitecture, QUADRO_4000
 from ..gpu.device import HostGPU
 from ..kernels.functional import REGISTRY, FunctionalRegistry
 from ..sched.config import SchedulerConfig
-from ..sim import Environment
+from ..sim import Environment, ShardedEnvironment
+from ..sim.domains import scenario_plan
 from ..vp.cpu import CPUModel, HOST_XEON, QEMU_ARM_VP
 from ..vp.cuda_runtime import CudaRuntime, EmulationBackend, NativeGPUBackend
 from ..vp.platform import VirtualPlatform
@@ -147,7 +148,7 @@ def run_emulation(
             platforms.append(platform)
         env.run(env.all_of(processes))
     else:
-        driver = env.process(serialized())
+        driver = env.process(serialized(), label="driver:emulation/serialized")
         env.run(driver)
 
     return ScenarioResult(
@@ -174,6 +175,7 @@ def run_sigma_vp(
     policy: Optional[str] = None,
     placement: Optional[str] = None,
     sched: Optional[SchedulerConfig] = None,
+    shards: Optional[object] = None,
 ) -> ScenarioResult:
     """The SigmaVP pipeline (Table 1 row 4; Fig. 11 speedup lines).
 
@@ -183,6 +185,12 @@ def run_sigma_vp(
     instead.  With neither, the legacy wiring applies (policy follows
     ``interleaving``, placement is round-robin) and the scenario label —
     part of the digest wire format — is unchanged.
+
+    ``shards`` selects the partitioned in-process event loop (an int
+    domain count, ``"per-gpu"``, or ``"per-vp-group"``; see
+    :mod:`repro.sim.domains`).  Sharding is a run mechanic, not part of
+    the scenario identity: results are digest-identical to the serial
+    engine by construction, so the label is unchanged.
     """
     if n_vps <= 0:
         raise ValueError(f"n_vps must be positive, got {n_vps}")
@@ -190,7 +198,18 @@ def run_sigma_vp(
         sched = SchedulerConfig.from_names(policy, placement)
     elif policy is not None or placement is not None:
         raise ValueError("pass either sched= or policy=/placement=, not both")
+    env: Optional[Environment] = None
+    if shards is not None:
+        plan = scenario_plan(
+            shards,
+            n_vps,
+            n_host_gpus,
+            default_placement=sched.placement == "round-robin",
+        )
+        if plan is not None:
+            env = ShardedEnvironment(plan)
     framework = SigmaVP(
+        env=env,
         host_arch=host_arch,
         transport=transport,
         interleaving=interleaving,

@@ -35,6 +35,7 @@ from .farm import (
     results_digest,
     seed_for,
 )
+from .shard import mp_eligible, run_sharded_inproc, run_sharded_mp
 from .trajectory import (
     TrajectoryError,
     TrajectoryPoint,
@@ -58,6 +59,9 @@ __all__ = [
     "FarmJob",
     "FarmResult",
     "ScenarioFarm",
+    "mp_eligible",
+    "run_sharded_inproc",
+    "run_sharded_mp",
     "canonical_json",
     "config_key",
     "results_digest",

@@ -53,6 +53,8 @@ __all__ = [
     "FarmJob",
     "FarmResult",
     "run_job",
+    "run_job_by_index",
+    "set_pool_jobs",
     "warm_worker",
     "results_digest",
     "ScenarioFarm",
@@ -210,6 +212,24 @@ def run_job(job: FarmJob) -> FarmResult:
     )
 
 
+#: Static job list registered with a persistent pool.  Shipped **once**
+#: through the pool initializer; every later round submits bare indices
+#: (:func:`run_job_by_index`) instead of re-pickling each job
+#: description per ``map()`` call.
+_POOL_JOBS: List[FarmJob] = []
+
+
+def set_pool_jobs(jobs: Sequence[FarmJob]) -> None:
+    """Install the static job list for index-based submission."""
+    global _POOL_JOBS
+    _POOL_JOBS = list(jobs)
+
+
+def run_job_by_index(index: int) -> FarmResult:
+    """Run the ``index``-th registered job (persistent-pool fast path)."""
+    return run_job(_POOL_JOBS[index])
+
+
 def warm_worker(capture_obs: bool = False) -> None:
     """Pool initializer: pre-compile the workload catalog's kernels.
 
@@ -235,6 +255,7 @@ def _init_worker(
     warm: bool = True,
     disk_config: Optional[Dict[str, Any]] = None,
     sample_interval_ms: Optional[float] = None,
+    pool_jobs: Optional[Sequence[FarmJob]] = None,
 ) -> None:
     """Pool initializer: disk-cache config, optional warm-up, capture.
 
@@ -243,6 +264,8 @@ def _init_worker(
     writes the *same* shared store even on start methods that do not
     copy parent state.  Warming runs after the store is configured —
     warm-up compiles then populate/hit the shared disk tier too.
+    ``pool_jobs`` is the persistent-pool static job list: registering it
+    here means each round's submissions are plain integers.
     """
     if disk_config is not None:
         _cache.configure(
@@ -252,6 +275,8 @@ def _init_worker(
         warm_worker()
     if capture_obs:
         set_capture(True, sample_interval_ms=sample_interval_ms)
+    if pool_jobs is not None:
+        set_pool_jobs(pool_jobs)
 
 
 def results_digest(results: Sequence[FarmResult]) -> str:
@@ -268,6 +293,14 @@ class ScenarioFarm:
     ``workers=1`` — or any platform without the ``fork`` start method —
     degrades gracefully to in-process serial execution of the identical
     job code path.  Results always come back in submission order.
+
+    ``persistent=True`` keeps the worker pool alive across ``map()``
+    calls: workers fork, configure and warm **once**, and the static job
+    list ships once through the pool initializer, so repeat rounds of
+    the same suite submit bare indices to already-warm processes.  The
+    pool is rebuilt transparently when the job list (by config-hash key)
+    or the needed worker count changes, and released by :meth:`close`
+    (the farm is also a context manager).
     """
 
     def __init__(
@@ -277,6 +310,7 @@ class ScenarioFarm:
         chunk_size: Optional[int] = None,
         capture_obs: bool = False,
         sample_interval_ms: Optional[float] = None,
+        persistent: bool = False,
     ):
         requested = os.cpu_count() or 1 if workers is None else workers
         if requested < 1:
@@ -288,6 +322,10 @@ class ScenarioFarm:
         self.capture_obs = capture_obs
         #: Per-job time-series sampling interval under capture (None = off).
         self.sample_interval_ms = sample_interval_ms
+        self.persistent = persistent
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_keys: Optional[tuple] = None
+        self._pool_size = 0
 
     @staticmethod
     def _can_fork() -> bool:
@@ -295,6 +333,69 @@ class ScenarioFarm:
 
     def __repr__(self) -> str:
         return f"<ScenarioFarm workers={self.workers}>"
+
+    def __enter__(self) -> "ScenarioFarm":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_keys = None
+            self._pool_size = 0
+
+    def _initargs(self, pool_jobs: Optional[Sequence[FarmJob]] = None) -> tuple:
+        disk_config = {
+            "root": _cache.default_root(),
+            "enabled": _cache.disk_enabled(),
+        }
+        return (
+            self.capture_obs,
+            self.warmup,
+            disk_config,
+            self.sample_interval_ms,
+            list(pool_jobs) if pool_jobs is not None else None,
+        )
+
+    def _map_persistent(
+        self, jobs: List[FarmJob], chunk: int
+    ) -> List[FarmResult]:
+        """Index-based submission over a pool that outlives the call.
+
+        The job list rides to the workers exactly once (initializer);
+        every round after that pickles ``range(len(jobs))`` — integers —
+        instead of the full job descriptions.  A changed job list or a
+        larger worker requirement rebuilds the pool.
+        """
+        keys = tuple(job.key for job in jobs)
+        size = min(self.workers, len(jobs))
+        if (
+            self._pool is None
+            or self._pool_keys != keys
+            or self._pool_size < size
+        ):
+            self.close()
+            self._pool = ProcessPoolExecutor(
+                max_workers=size,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_worker,
+                initargs=self._initargs(pool_jobs=jobs),
+            )
+            self._pool_keys = keys
+            self._pool_size = size
+        return list(
+            self._pool.map(run_job_by_index, range(len(jobs)), chunksize=chunk)
+        )
 
     def map(self, jobs: Sequence[FarmJob]) -> List[FarmResult]:
         """Run every job; results in submission order."""
@@ -317,23 +418,15 @@ class ScenarioFarm:
         # Chunked submission: a few chunks per worker balances scheduling
         # freedom (uneven job durations) against per-submission IPC.
         chunk = self.chunk_size or max(1, len(jobs) // (self.workers * 4))
+        if self.persistent:
+            return self._map_persistent(jobs, chunk)
         context = multiprocessing.get_context("fork")
-        disk_config = {
-            "root": _cache.default_root(),
-            "enabled": _cache.disk_enabled(),
-        }
         initializer: Optional[Callable] = _init_worker
-        initargs: tuple = (
-            self.capture_obs,
-            self.warmup,
-            disk_config,
-            self.sample_interval_ms,
-        )
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(jobs)),
             mp_context=context,
             initializer=initializer,
-            initargs=initargs,
+            initargs=self._initargs(),
         ) as pool:
             return list(pool.map(run_job, jobs, chunksize=chunk))
 

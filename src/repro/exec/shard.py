@@ -1,0 +1,386 @@
+"""Domain executors: per-GPU sub-simulations, in-process or on a farm.
+
+The exact-merge sharded engine (:mod:`repro.sim.domains`) keeps one
+event loop but gives each simulation domain its own heap.  This module
+holds the two executors that exploit **edge-free** partitions — with no
+cross-domain edge the conservative lookahead horizon is unbounded, so
+each per-GPU domain is a self-contained sub-simulation that can run to
+completion on its own: :func:`run_sharded_inproc` runs the domains
+sequentially in one process (smaller superlinear scheduling state —
+the in-process speedup headline), :func:`run_sharded_mp` places each
+domain in its own worker process.  Both merge the results into a
+summary that is **equal, key for key and bit for bit, to the serial
+run's** (:meth:`repro.core.scenarios.ScenarioResult.summary`).
+
+Why this is exact, not approximate: under the default scheduling stages
+(round-robin placement, interleaved service) every VP binds to one
+device as a pure function of its position in the sorted VP-name order,
+jobs of different devices never compete for an engine, the coalescer
+merges triples only within one device's VPs, and VP stop/resume control
+is only ever applied to the VP that issued the submission.  The devices
+therefore never interact: the scenario *is* ``n_host_gpus`` independent
+simulations, and re-running each group in its own process with its VPs'
+original names and seeds reproduces exactly the event timeline that
+group had inside the serial run.  The merge is then mechanical:
+
+* ``total_ms`` — max over domains (the serial clock stops with the
+  slowest VP);
+* ``per_instance_ms`` — reassembled in global sorted-name order;
+* ``ipc_messages`` / ``coalesce_merges`` / ``kernels_coalesced`` —
+  sums (each counts disjoint per-domain activity).
+
+Eligibility is checked conservatively (:func:`mp_eligible`); anything
+else — serialized service, custom scheduling stages, a single GPU —
+falls back to the in-process sharded engine, which is exact for every
+configuration.  Boundary traffic between the domains and the merge
+itself ride the normal :class:`~repro.exec.farm.ScenarioFarm` channel,
+so observability capture (traces, metrics, time-series) ships per
+domain exactly as it does for ordinary farm jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .farm import FarmJob, FarmResult, ScenarioFarm
+
+__all__ = [
+    "mp_eligible",
+    "mp_groups",
+    "shard_worker_summary",
+    "domain_jobs",
+    "merge_domain_values",
+    "run_sharded_inproc",
+    "run_sharded_mp",
+]
+
+
+def mp_eligible(
+    n_vps: int,
+    n_host_gpus: int,
+    interleaving: bool = True,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
+) -> bool:
+    """Whether a scenario decomposes exactly into per-GPU processes.
+
+    Conservative by design: only the default scheduling stages are
+    accepted (``policy=None``/``placement=None``), because the proof of
+    exactness leans on round-robin placement binding VPs to devices by
+    sorted-name position and on interleaved service keeping devices
+    independent.  Serialized service (``interleaving=False``) admits one
+    job *globally* at a time, which couples the devices' timelines.
+    """
+    return (
+        interleaving
+        and n_host_gpus >= 2
+        and n_vps >= 2
+        and policy is None
+        and placement is None
+    )
+
+
+def mp_groups(n_vps: int, n_host_gpus: int) -> List[List[Tuple[str, int]]]:
+    """Per-device VP groups: ``(name, global sorted position)`` pairs.
+
+    Mirrors the round-robin placement the dispatcher applies to the
+    serial run: VPs bind to devices in sorted-name order (the order
+    ``run_workload`` spawns them in), position modulo device count.
+    The global position doubles as the VP's workload seed, exactly as
+    :meth:`SigmaVP.run_workload` assigns it.
+    """
+    names = sorted(f"vp{i}" for i in range(n_vps))
+    groups: List[List[Tuple[str, int]]] = [[] for _ in range(n_host_gpus)]
+    for position, name in enumerate(names):
+        groups[position % n_host_gpus].append((name, position))
+    return [group for group in groups if group]
+
+
+def shard_worker_summary(
+    app: str,
+    vp_names: Sequence[str],
+    vp_seeds: Sequence[int],
+    n_vps_total: int,
+    interleaving: bool = True,
+    coalescing: bool = True,
+    transport: str = "socket",
+    max_batch: int = 64,
+    hold_window_ms: Optional[float] = None,
+    scale_elements: Optional[int] = None,
+    scale_iterations: Optional[int] = None,
+    functional: bool = False,
+) -> Dict[str, Any]:
+    """One domain's sub-simulation: a farm job function.
+
+    Rebuilds the domain's device group — the VPs keep their serial-run
+    names and seeds — against a single host GPU and runs the workload to
+    completion.  ``n_vps_total`` pins the coalescer's target batch to
+    the value the serial run's auto-target reaches after attaching
+    every VP, so the domain's merge windows behave exactly as its device
+    group's did inside the whole scenario.
+    """
+    from ..core.framework import SigmaVP
+    from ..core.scenarios import _registry
+    from .jobs import _spec, resolve_transport
+
+    spec = _spec(app, scale_elements, scale_iterations)
+    framework = SigmaVP(
+        transport=resolve_transport(transport),
+        interleaving=interleaving,
+        coalescing=coalescing,
+        max_batch=max_batch,
+        target_batch=n_vps_total if coalescing else None,
+        hold_window_ms=hold_window_ms,
+        registry=_registry(functional),
+        n_vps=0,
+        n_host_gpus=1,
+    )
+    for name in vp_names:
+        framework.add_vp(name)
+    total = framework.run_workload(spec, seeds=list(vp_seeds))
+    out: Dict[str, Any] = {
+        "workload": spec.name,
+        "total_ms": total,
+        "per_instance": {
+            name: framework.session(name).vp.elapsed_ms or 0.0
+            for name in vp_names
+        },
+        "ipc_messages": framework.ipc.messages_sent,
+    }
+    if framework.coalescer is not None:
+        stats = framework.coalescer.stats
+        out["coalesce_merges"] = stats.merges
+        out["kernels_coalesced"] = stats.kernels_coalesced
+    return out
+
+
+def domain_jobs(
+    app: str,
+    n_vps: int,
+    n_host_gpus: int,
+    interleaving: bool = True,
+    coalescing: bool = True,
+    transport: str = "socket",
+    max_batch: int = 64,
+    hold_window_ms: Optional[float] = None,
+    scale_elements: Optional[int] = None,
+    scale_iterations: Optional[int] = None,
+    functional: bool = False,
+) -> List[FarmJob]:
+    """The per-domain :class:`FarmJob` list for an eligible scenario."""
+    jobs = []
+    for index, group in enumerate(mp_groups(n_vps, n_host_gpus)):
+        jobs.append(
+            FarmJob(
+                fn="repro.exec.shard:shard_worker_summary",
+                label=f"shard:{app}:gpu{index}",
+                kwargs={
+                    "app": app,
+                    "vp_names": [name for name, _pos in group],
+                    "vp_seeds": [pos for _name, pos in group],
+                    "n_vps_total": n_vps,
+                    "interleaving": interleaving,
+                    "coalescing": coalescing,
+                    "transport": transport,
+                    "max_batch": max_batch,
+                    "hold_window_ms": hold_window_ms,
+                    "scale_elements": scale_elements,
+                    "scale_iterations": scale_iterations,
+                    "functional": functional,
+                },
+            )
+        )
+    return jobs
+
+
+def merge_domain_values(
+    values: Sequence[Dict[str, Any]],
+    n_vps: int,
+    interleaving: bool,
+    coalescing: bool,
+) -> Dict[str, Any]:
+    """Merge per-domain sub-summaries into the serial summary shape."""
+    per_instance: Dict[str, float] = {}
+    total_ms = 0.0
+    ipc_messages = 0
+    merges = 0
+    kernels = 0
+    for value in values:
+        total_ms = max(total_ms, value["total_ms"])
+        per_instance.update(value["per_instance"])
+        ipc_messages += value["ipc_messages"]
+        merges += value.get("coalesce_merges", 0)
+        kernels += value.get("kernels_coalesced", 0)
+    out: Dict[str, Any] = {
+        "scenario": (
+            f"sigma-vp(interleave={interleaving}, coalesce={coalescing})"
+        ),
+        "workload": values[0]["workload"],
+        "n_instances": n_vps,
+        "total_ms": total_ms,
+        "per_instance_ms": [per_instance[n] for n in sorted(per_instance)],
+        "ipc_messages": ipc_messages,
+    }
+    if coalescing:
+        out["coalesce_merges"] = merges
+        out["kernels_coalesced"] = kernels
+    return out
+
+
+def run_sharded_inproc(
+    app: str,
+    n_vps: int = 8,
+    interleaving: bool = True,
+    coalescing: bool = True,
+    transport: str = "socket",
+    max_batch: int = 64,
+    n_host_gpus: int = 1,
+    hold_window_ms: Optional[float] = None,
+    scale_elements: Optional[int] = None,
+    scale_iterations: Optional[int] = None,
+    functional: bool = False,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
+    detail: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Run one scenario's per-GPU domains to completion, in one process.
+
+    This is the in-process domain scheduler in the conservative epoch
+    protocol's **limiting case**: an eligible decomposition has no
+    cross-domain edges at all (each device group's IPC, coalescing and
+    engines live inside its own domain), so every domain's lookahead
+    horizon is unbounded and the scheduler may run each domain to
+    completion before starting the next — no epoch barriers and no heap
+    interleaving.  The payoff is not parallelism but *state size*: the
+    coalescer's scan sets, the dispatcher's queue walks and the event
+    heap all carry superlinear costs in VP count, so two half-size
+    sub-simulations do measurably less work than one full-size run.
+    Results merge exactly as the multiprocessing executor's do
+    (:func:`merge_domain_values`) and are bit-identical to serial.
+
+    Partitions that *do* have cross-domain edges (single GPU, serialized
+    service, custom scheduling stages) fall back to the exact n-way
+    merge engine (:class:`repro.sim.domains.ShardedEnvironment`), which
+    honours those edges event by event.
+    """
+    if not mp_eligible(n_vps, n_host_gpus, interleaving, policy, placement):
+        from ..core.scenarios import run_sigma_vp
+        from .jobs import _spec, resolve_transport
+
+        if detail is not None:
+            detail["executor"] = "in-process-merge"
+        return run_sigma_vp(
+            _spec(app, scale_elements, scale_iterations),
+            n_vps=n_vps,
+            interleaving=interleaving,
+            coalescing=coalescing,
+            transport=resolve_transport(transport),
+            max_batch=max_batch,
+            hold_window_ms=hold_window_ms,
+            n_host_gpus=n_host_gpus,
+            functional=functional,
+            policy=policy,
+            placement=placement,
+            shards="per-gpu",
+        ).summary()
+
+    jobs = domain_jobs(
+        app,
+        n_vps,
+        n_host_gpus,
+        interleaving=interleaving,
+        coalescing=coalescing,
+        transport=transport,
+        max_batch=max_batch,
+        hold_window_ms=hold_window_ms,
+        scale_elements=scale_elements,
+        scale_iterations=scale_iterations,
+        functional=functional,
+    )
+    values = [shard_worker_summary(**job.kwargs) for job in jobs]
+    if detail is not None:
+        detail["executor"] = "in-process-domains"
+        detail["domains"] = len(jobs)
+    return merge_domain_values(values, n_vps, interleaving, coalescing)
+
+
+def run_sharded_mp(
+    app: str,
+    n_vps: int = 8,
+    interleaving: bool = True,
+    coalescing: bool = True,
+    transport: str = "socket",
+    max_batch: int = 64,
+    n_host_gpus: int = 1,
+    hold_window_ms: Optional[float] = None,
+    scale_elements: Optional[int] = None,
+    scale_iterations: Optional[int] = None,
+    functional: bool = False,
+    policy: Optional[str] = None,
+    placement: Optional[str] = None,
+    farm: Optional[ScenarioFarm] = None,
+    detail: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Run one scenario with per-GPU domains in separate processes.
+
+    Returns exactly what ``scenario_summary`` returns for the same
+    arguments — the summary is the digest wire format, and the whole
+    point of the executor is that multiprocessing must not change it.
+
+    Ineligible configurations (:func:`mp_eligible`) fall back to the
+    in-process sharded engine, which is exact for every scenario.
+    ``farm`` lets callers supply a persistent :class:`ScenarioFarm`
+    (bench rounds reuse warm workers); otherwise a one-shot farm sized
+    to the domain count runs the jobs.  ``detail``, when given a dict,
+    receives per-domain results (labels, durations, worker pids and —
+    under capture — obs payloads) and the executor used.
+    """
+    if not mp_eligible(n_vps, n_host_gpus, interleaving, policy, placement):
+        from ..core.scenarios import run_sigma_vp
+        from .jobs import _spec, resolve_transport
+
+        if detail is not None:
+            detail["executor"] = "in-process"
+        return run_sigma_vp(
+            _spec(app, scale_elements, scale_iterations),
+            n_vps=n_vps,
+            interleaving=interleaving,
+            coalescing=coalescing,
+            transport=resolve_transport(transport),
+            max_batch=max_batch,
+            hold_window_ms=hold_window_ms,
+            n_host_gpus=n_host_gpus,
+            functional=functional,
+            policy=policy,
+            placement=placement,
+            shards="per-gpu",
+        ).summary()
+
+    jobs = domain_jobs(
+        app,
+        n_vps,
+        n_host_gpus,
+        interleaving=interleaving,
+        coalescing=coalescing,
+        transport=transport,
+        max_batch=max_batch,
+        hold_window_ms=hold_window_ms,
+        scale_elements=scale_elements,
+        scale_iterations=scale_iterations,
+        functional=functional,
+    )
+    owned = farm is None
+    if farm is None:
+        farm = ScenarioFarm(workers=len(jobs), warmup=True)
+    try:
+        results: List[FarmResult] = farm.map(jobs)
+    finally:
+        if owned:
+            farm.close()
+    if detail is not None:
+        detail["executor"] = "multiprocessing"
+        detail["domains"] = len(jobs)
+        detail["results"] = results
+    return merge_domain_values(
+        [result.value for result in results], n_vps, interleaving, coalescing
+    )

@@ -48,19 +48,29 @@ class HostGPU:
         arch: GPUArchitecture,
         memory_bytes: int = DEFAULT_MEMORY_BYTES,
         compiler: Optional[KernelCompiler] = None,
+        index: int = 0,
     ):
         self.env = env
         self.arch = arch
+        self.index = index
         self.timing = KernelTimingModel(arch)
         self.memory = DeviceMemoryAllocator(memory_bytes)
         self.compiler = compiler or KernelCompiler()
         # Fermi-class Quadro boards advertise dual copy engines: host-to-
         # device and device-to-host transfers overlap with each other and
         # with compute, the three-stage pipeline Kernel Interleaving
-        # exploits (paper Eq. 7).
-        self.h2d_engine = CopyEngine(env, name=f"{arch.name}/copy-h2d")
-        self.d2h_engine = CopyEngine(env, name=f"{arch.name}/copy-d2h")
-        self.compute_engine = ComputeEngine(env, name=f"{arch.name}/compute")
+        # exploits (paper Eq. 7).  Engine serving processes are labeled by
+        # device index so a sharded environment can place each device's
+        # service events on its own domain heap.
+        self.h2d_engine = CopyEngine(
+            env, name=f"{arch.name}/copy-h2d", plabel=f"gpu:{index}/copy-h2d"
+        )
+        self.d2h_engine = CopyEngine(
+            env, name=f"{arch.name}/copy-d2h", plabel=f"gpu:{index}/copy-d2h"
+        )
+        self.compute_engine = ComputeEngine(
+            env, name=f"{arch.name}/compute", plabel=f"gpu:{index}/compute"
+        )
         self._streams: Dict[str, GPUStream] = {}
         self.kernel_log: List[KernelRecord] = []
         self.bytes_copied_h2d = 0

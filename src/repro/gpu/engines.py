@@ -57,13 +57,18 @@ class TimelineEntry:
 class Engine:
     """A non-preemptive FIFO engine."""
 
-    def __init__(self, env: Environment, name: str):
+    def __init__(
+        self, env: Environment, name: str, plabel: Optional[str] = None
+    ):
         self.env = env
         self.name = name
         self._queue: Store = Store(env)
         self.timeline: List[TimelineEntry] = []
         self.busy_ms = 0.0
-        self._process = env.process(self._serve())
+        # ``plabel`` identifies the serving process for error reporting
+        # and domain routing (e.g. ``"gpu:1/compute"``); the engine name
+        # itself stays arch-scoped for trace lanes.
+        self._process = env.process(self._serve(), label=plabel or f"engine:{name}")
 
     def __repr__(self) -> str:
         return f"<Engine {self.name} queued={len(self._queue)} busy={self.busy_ms:.3f}ms>"
@@ -137,12 +142,22 @@ class Engine:
 class CopyEngine(Engine):
     """The DMA engine moving data between host and device memory."""
 
-    def __init__(self, env: Environment, name: str = "copy-engine"):
-        super().__init__(env, name)
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "copy-engine",
+        plabel: Optional[str] = None,
+    ):
+        super().__init__(env, name, plabel=plabel)
 
 
 class ComputeEngine(Engine):
     """The SM array executing kernels, serialized at device level."""
 
-    def __init__(self, env: Environment, name: str = "compute-engine"):
-        super().__init__(env, name)
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "compute-engine",
+        plabel: Optional[str] = None,
+    ):
+        super().__init__(env, name, plabel=plabel)

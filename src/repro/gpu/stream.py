@@ -39,7 +39,7 @@ class GPUStream:
         self._last_completion: Optional[Event] = None
         self.issued = 0
         self.completed = 0
-        env.process(self._pump())
+        env.process(self._pump(), label=f"stream:{name}/pump")
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,7 @@ framework orchestration all run as coroutine processes in one
 :class:`~repro.sim.engine.Environment`.
 """
 
+from .domains import DomainEdge, DomainPlan, ShardedEnvironment
 from .engine import EmptySchedule, Environment, StopSimulation
 from .events import (
     AllOf,
@@ -22,9 +23,12 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "DomainEdge",
+    "DomainPlan",
     "EmptySchedule",
     "Environment",
     "Event",
+    "ShardedEnvironment",
     "Interrupt",
     "PriorityItem",
     "PriorityStore",

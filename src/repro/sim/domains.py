@@ -1,0 +1,558 @@
+"""Time-decoupled simulation domains with conservative epoch sync.
+
+A large ΣVP scenario is one discrete-event simulation whose components
+cluster naturally: each virtual platform talks only to the host side
+through IPC, and each host GPU serves only the VPs placed on it.  This
+module partitions such a scenario into **domains** — disjoint groups of
+components, each with its own event heap — and advances them under a
+conservative epoch protocol in the style of parallel SystemC virtual
+platforms and parallelized GPU simulators:
+
+* every domain may run freely up to a **lookahead horizon** derived from
+  the minimum latency of any cross-domain edge (IPC submit/respond
+  latency and the coalescing-window settle period are the only edges in
+  a ΣVP scenario);
+* at the horizon the domains exchange boundary events and the **global
+  epoch** advances.
+
+The in-process :class:`ShardedEnvironment` keeps the protocol *exact*
+rather than merely conservative: domain heaps are popped in global
+``(time, priority, sequence)`` order — an n-way merge — so the observable
+event order is bit-identical to the serial single-heap engine for any
+partition whatsoever.  What sharding changes is the *shape* of the work:
+each heap is smaller (cheaper pushes/pops), and consecutive events
+overwhelmingly come from one domain at a time (the run-length locality
+the epoch counters measure).  The executors in :mod:`repro.exec.shard`
+go further for edge-free partitions: with no cross-domain edge the
+lookahead horizon is unbounded, so each per-GPU domain can run to
+completion as its own sub-simulation — sequentially in one process
+(``run_sharded_inproc``) or on separate workers (``run_sharded_mp``).
+
+Event → domain routing follows *process identity*: every
+:class:`~repro.sim.events.Process` carries a domain (resolved from its
+component label at spawn time, see :meth:`DomainPlan.domain_of`), and
+any event scheduled while a process runs lands on that process's heap.
+Events scheduled outside any process (setup code, condition callbacks)
+land on the control domain 0.  Because the merge is exact, routing is a
+locality decision, never a correctness one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import metrics as _obs_metrics
+from ..obs import timeseries as _obs_timeseries
+from .engine import EmptySchedule, Environment
+from .events import NORMAL, Event, Process
+
+__all__ = [
+    "DEFAULT_LOOKAHEAD_MS",
+    "MIN_LOOKAHEAD_MS",
+    "DomainEdge",
+    "DomainPlan",
+    "ShardedEnvironment",
+    "scenario_plan",
+]
+
+#: Lookahead when a plan declares no cross-domain edges (a fully
+#: decoupled partition could use any horizon; this keeps epoch counters
+#: meaningful).
+DEFAULT_LOOKAHEAD_MS = 1.0
+
+#: Floor for the derived lookahead: a zero-latency edge would collapse
+#: the epoch protocol to lockstep.
+MIN_LOOKAHEAD_MS = 1e-3
+
+#: One pending-event heap entry: (time, priority, sequence, event).
+#: Sequence numbers are globally unique, so entries never compare the
+#: Event object and the tuple order *is* the serial engine's pop order.
+_Entry = Tuple[float, int, int, Event]
+
+
+@dataclass(frozen=True)
+class DomainEdge:
+    """A declared cross-domain interaction and its minimum latency.
+
+    Components declare these when a plan is attached (the IPC manager
+    declares its transport latency both ways; the coalescer declares its
+    settle window).  The minimum over all positive edge latencies is the
+    conservative lookahead: no domain can affect another sooner than
+    that, so every domain may safely run ``lookahead_ms`` past the last
+    synchronization point.
+    """
+
+    src: str
+    dst: str
+    latency_ms: float
+    kind: str = "message"
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError(
+                f"edge {self.src}->{self.dst}: negative latency {self.latency_ms}"
+            )
+
+
+class DomainPlan:
+    """Maps component labels to simulation domains and records edges.
+
+    ``assign`` receives a component label (e.g. ``"vp:vp3/app"`` or
+    ``"gpu:1/compute"``) and returns a domain index, or ``None`` to let
+    the spawning process's domain be inherited.  Assignments are
+    memoized per label so they are stable for the lifetime of a run.
+    """
+
+    def __init__(
+        self,
+        n_domains: int,
+        assign: Optional[Callable[[str], Optional[int]]] = None,
+        name: str = "custom",
+    ) -> None:
+        if n_domains < 1:
+            raise ValueError(f"n_domains must be >= 1, got {n_domains}")
+        self.n_domains = n_domains
+        self.name = name
+        self._assign = assign
+        # Memoized per component (kind, name) prefix — labels may carry a
+        # per-instance suffix (e.g. one per dispatched job), so keying on
+        # the full label would grow without bound.
+        self._memo: Dict[Tuple[str, str], Optional[int]] = {}
+        self.edges: List[DomainEdge] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<DomainPlan {self.name!r} domains={self.n_domains} "
+            f"edges={len(self.edges)}>"
+        )
+
+    def domain_of(self, label: str) -> Optional[int]:
+        """Domain for a labeled component, or ``None`` to inherit.
+
+        Assignment must be a function of the ``kind:name`` component
+        prefix (the part before any ``/`` suffix); it is memoized on
+        that prefix so per-instance suffixes stay cheap.
+        """
+        key = self._component(label)
+        if key in self._memo:
+            return self._memo[key]
+        domain: Optional[int] = None
+        if self._assign is not None:
+            domain = self._assign(label)
+            if domain is not None:
+                if not 0 <= domain < self.n_domains:
+                    raise ValueError(
+                        f"assign({label!r}) -> {domain} outside "
+                        f"[0, {self.n_domains})"
+                    )
+        self._memo[key] = domain
+        return domain
+
+    def declare_edge(
+        self, src: str, dst: str, latency_ms: float, kind: str = "message"
+    ) -> None:
+        """Record a cross-domain interaction with its minimum latency."""
+        self.edges.append(DomainEdge(src, dst, latency_ms, kind))
+
+    @property
+    def lookahead_ms(self) -> float:
+        """Conservative horizon: minimum positive cross-domain latency."""
+        latencies = [edge.latency_ms for edge in self.edges]
+        if not latencies:
+            return DEFAULT_LOOKAHEAD_MS
+        return max(min(latencies), MIN_LOOKAHEAD_MS)
+
+    # -- stock partitioning rules ---------------------------------------
+
+    @staticmethod
+    def _component(label: str) -> Tuple[str, str]:
+        """Split ``"vp:vp3/app"`` into ``("vp", "vp3")``; ``("", label)``
+        when the label carries no ``kind:name`` prefix."""
+        kind, sep, rest = label.partition(":")
+        if not sep:
+            return "", label
+        name = rest.partition("/")[0]
+        return kind, name
+
+    @classmethod
+    def round_robin(cls, n_domains: int) -> "DomainPlan":
+        """VPs spread round-robin over domains 1..n-1; host side in 0.
+
+        With ``n_domains == 1`` this is the serial engine's layout on the
+        sharded loop (the shards=1 conformance case).
+        """
+        seen: Dict[str, int] = {}
+
+        def assign(label: str) -> Optional[int]:
+            kind, name = cls._component(label)
+            if kind != "vp" or n_domains == 1:
+                return 0 if kind in ("vp", "gpu", "dispatcher") else None
+            if name not in seen:
+                seen[name] = 1 + len(seen) % (n_domains - 1)
+            return seen[name]
+
+        return cls(n_domains, assign, name=f"round-robin({n_domains})")
+
+    @classmethod
+    def per_gpu(
+        cls, n_gpus: int, device_of: Callable[[str], Optional[int]]
+    ) -> "DomainPlan":
+        """One domain per host GPU, plus the control domain 0.
+
+        ``device_of`` maps a VP name to its (predicted) host device so a
+        VP shares a heap with the engines that serve it; VPs it cannot
+        place stay on the control domain.
+        """
+        n_domains = 1 + max(1, n_gpus)
+
+        def assign(label: str) -> Optional[int]:
+            kind, name = cls._component(label)
+            if kind == "gpu":
+                try:
+                    return 1 + int(name) % n_gpus
+                except ValueError:
+                    return 0
+            if kind == "vp":
+                device = device_of(name)
+                if device is None:
+                    return 0
+                return 1 + device % n_gpus
+            if kind == "dispatcher":
+                return 0
+            return None
+
+        return cls(n_domains, assign, name=f"per-gpu({n_gpus})")
+
+    @classmethod
+    def per_vp_group(cls, n_groups: int) -> "DomainPlan":
+        """One domain per VP group (first-seen order), control in 0."""
+        if n_groups < 1:
+            raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+        seen: Dict[str, int] = {}
+
+        def assign(label: str) -> Optional[int]:
+            kind, name = cls._component(label)
+            if kind == "vp":
+                if name not in seen:
+                    seen[name] = 1 + len(seen) % n_groups
+                return seen[name]
+            if kind in ("gpu", "dispatcher"):
+                return 0
+            return None
+
+        return cls(1 + n_groups, assign, name=f"per-vp-group({n_groups})")
+
+
+def scenario_plan(
+    shards: object,
+    n_vps: int,
+    n_host_gpus: int,
+    vp_names: Optional[List[str]] = None,
+    default_placement: bool = True,
+) -> Optional[DomainPlan]:
+    """Build a :class:`DomainPlan` for a standard ΣVP scenario.
+
+    ``shards`` is the CLI-facing spec: an integer domain count,
+    ``"per-gpu"``, or ``"per-vp-group"``; ``None``/``0``/``1`` disable
+    sharding (the serial engine is the shards=1 case by definition).
+
+    ``per-gpu`` co-locates each VP with the device round-robin placement
+    will bind it to (first use happens in sorted-name order, so the
+    binding is position-in-sorted-order modulo device count).  With a
+    non-default placement the prediction is skipped and VPs ride the
+    control domain — a locality loss only, never a correctness one.
+    """
+    if shards in (None, 0, 1, "none", ""):
+        return None
+    names = sorted(vp_names if vp_names is not None else [f"vp{i}" for i in range(n_vps)])
+    if shards == "per-gpu":
+        device: Dict[str, int] = (
+            {name: i % max(1, n_host_gpus) for i, name in enumerate(names)}
+            if default_placement
+            else {}
+        )
+        return DomainPlan.per_gpu(max(1, n_host_gpus), device.get)
+    if shards == "per-vp-group":
+        return DomainPlan.per_vp_group(max(1, len(names)))
+    try:
+        n_domains = int(shards)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"shards must be an int, 'per-gpu', or 'per-vp-group'; got {shards!r}"
+        ) from None
+    if n_domains < 1:
+        raise ValueError(f"shards must be >= 1, got {n_domains}")
+    return DomainPlan.round_robin(n_domains)
+
+
+class ShardedEnvironment(Environment):
+    """A partitioned-heap environment, exact-merged in global event order.
+
+    Each domain owns a heap; :meth:`step` pops the globally smallest
+    ``(time, priority, sequence)`` entry.  The pop loop exploits run
+    lengths: while the current domain's head stays below every other
+    domain's head, no scan of the other heaps is needed — the common
+    case, since components interact across domains only at IPC and
+    coalescing boundaries.  Epoch counters track how a conservative
+    parallel execution of the same partition would synchronize.
+    """
+
+    def __init__(self, plan: DomainPlan, initial_time: float = 0.0) -> None:
+        super().__init__(initial_time)
+        self.plan = plan
+        self._heaps: List[List[_Entry]] = [[] for _ in range(plan.n_domains)]
+        #: Domain whose heap the pop loop is currently draining.
+        self._current = 0
+        #: Smallest head entry among all *other* domains (None if empty);
+        #: maintained incrementally by schedule(), rebuilt on switches.
+        self._other_min: Optional[_Entry] = None
+        self._lookahead = plan.lookahead_ms
+        self._horizon = initial_time + self._lookahead
+        #: Conservative-sync bookkeeping.
+        self.epochs = 0
+        self.switches = 0
+        self.boundary_events = 0
+        self.events_per_domain = [0] * plan.n_domains
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedEnvironment now={self._now} domains={len(self._heaps)} "
+            f"pending={self.pending} epochs={self.epochs}>"
+        )
+
+    @property
+    def pending(self) -> int:
+        return sum(len(heap) for heap in self._heaps)
+
+    @property
+    def lookahead_ms(self) -> float:
+        """Current conservative horizon step."""
+        return self._lookahead
+
+    def refresh_lookahead(self) -> None:
+        """Re-derive the lookahead after components declared their edges.
+
+        The environment is constructed before the framework wires IPC and
+        coalescing, so the plan's edge list is empty at init time; the
+        framework calls this once wiring is complete.
+        """
+        self._lookahead = self.plan.lookahead_ms
+        self._horizon = self._now + self._lookahead
+
+    def domain_of(self, label: Optional[str]) -> int:
+        if label is not None:
+            domain = self.plan.domain_of(label)
+            if domain is not None:
+                return domain
+        process = self._active_process
+        if process is not None:
+            return process._domain
+        return 0
+
+    # -- the partitioned event loop -------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue ``event`` on the active process's domain heap."""
+        process = self._active_process
+        domain = process._domain if process is not None else 0
+        entry = (self._now + delay, priority, self._next_eid(), event)
+        heapq.heappush(self._heaps[domain], entry)
+        if domain != self._current:
+            other = self._other_min
+            if other is None or entry < other:
+                self._other_min = entry
+
+    def peek(self) -> float:
+        heap = self._heaps[self._current]
+        other = self._other_min
+        if heap:
+            head = heap[0]
+            if other is not None and other < head:
+                return other[0]
+            return head[0]
+        if other is not None:
+            return other[0]
+        return float("inf")
+
+    def _switch(self) -> List[_Entry]:
+        """Move to the domain holding the globally smallest head.
+
+        Rebuilds the cached other-domain minimum; called only when the
+        current domain's run ends, so its O(domains) scan amortizes over
+        the run length.
+        """
+        best: Optional[_Entry] = None
+        best_domain = self._current
+        for domain, heap in enumerate(self._heaps):
+            if heap and (best is None or heap[0] < best):
+                best = heap[0]
+                best_domain = domain
+        other: Optional[_Entry] = None
+        for domain, heap in enumerate(self._heaps):
+            if domain != best_domain and heap and (other is None or heap[0] < other):
+                other = heap[0]
+        if best is not None and best_domain != self._current:
+            self.switches += 1
+        self._current = best_domain
+        self._other_min = other
+        return self._heaps[best_domain]
+
+    def step(self) -> None:
+        """Process the single globally next event (exact n-way merge)."""
+        current = self._current
+        heap = self._heaps[current]
+        other = self._other_min
+        if not heap or (other is not None and other < heap[0]):
+            heap = self._switch()
+            current = self._current
+            if not heap:
+                raise EmptySchedule()
+        when, _priority, _eid, event = heapq.heappop(heap)
+
+        if when < self._now:
+            raise RuntimeError(
+                f"event scheduled in the past: {when} < {self._now}"
+            )
+        self._now = when
+        self.events_per_domain[current] += 1
+        if when >= self._horizon:
+            # A conservative parallel run would synchronize here: every
+            # domain has drained up to the horizon, boundary events are
+            # exchanged, and the next epoch's horizon opens.
+            self.epochs += 1
+            self._horizon = when + self._lookahead
+
+        registry = _obs_metrics.REGISTRY
+        if registry is not None:
+            registry.counter("sim.events_processed").inc()
+            sampler = _obs_timeseries.SAMPLER
+            if sampler is not None and self._now >= sampler.next_due_ms:
+                sampler.sample(self._now)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            if registry is not None:
+                # Boundary accounting (obs-gated: it walks callbacks): an
+                # event firing in one domain that resumes a process of
+                # another is exactly a cross-domain boundary message.
+                for callback in callbacks:
+                    owner = getattr(callback, "__self__", None)
+                    if (
+                        isinstance(owner, Process)
+                        and owner._domain != current
+                    ):
+                        self.boundary_events += 1
+            for callback in callbacks:
+                callback(event)
+
+        if not event._ok and not getattr(event, "_defused", False):
+            exc = event._value
+            raise exc
+
+    def _run_loop(self, stop_at: float) -> None:
+        """Inlined n-way-merge drain (see :meth:`Environment._run_loop`).
+
+        Semantically identical to ``while self.peek() < stop_at:
+        self.step()`` but restructured around run-length locality: within
+        a run the loop touches only the current domain's heap and
+        re-checks the cached other-domain minimum with a single tuple
+        comparison per event, instead of paying the serial loop's
+        ``peek()`` + ``step()`` call overhead against a merged view.
+        This is where sharding pays for its bookkeeping: heap operations
+        land on smaller heaps *and* the per-event dispatch is cheaper.
+        """
+        heaps = self._heaps
+        pop = heapq.heappop
+        events = self.events_per_domain
+        while True:
+            heap = heaps[self._current]
+            other = self._other_min
+            if not heap or (other is not None and other < heap[0]):
+                heap = self._switch()
+                other = self._other_min
+                if not heap:
+                    return
+            current = self._current
+            # The registry check is hoisted to once per run: with
+            # telemetry off the drain carries zero observability cost.
+            # (A callback toggling the registry mid-run is picked up at
+            # the next domain switch; enable/disable is a between-runs
+            # operation everywhere in this codebase.)
+            instrumented = _obs_metrics.REGISTRY is not None
+            n_events = 0
+            try:
+                while True:
+                    head = heap[0]
+                    if other is not None and other < head:
+                        break  # run over: another domain holds the head
+                    when = head[0]
+                    if when >= stop_at:
+                        return
+                    pop(heap)
+                    event = head[3]
+                    if when < self._now:
+                        raise RuntimeError(
+                            f"event scheduled in the past: {when} < {self._now}"
+                        )
+                    self._now = when
+                    n_events += 1
+                    if when >= self._horizon:
+                        self.epochs += 1
+                        self._horizon = when + self._lookahead
+
+                    callbacks, event.callbacks = event.callbacks, None
+                    if instrumented:
+                        self._observe(when, current, callbacks)
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+
+                    if not event._ok and not getattr(event, "_defused", False):
+                        raise event._value
+                    # Callbacks may have scheduled cross-domain work; the
+                    # cached minimum is the only state that can move.
+                    other = self._other_min
+                    if not heap:
+                        break
+            finally:
+                events[current] += n_events
+
+    def _observe(
+        self,
+        when: float,
+        current: int,
+        callbacks: Optional[List[Callable[[Event], None]]],
+    ) -> None:
+        """Per-event observability: the instrumented half of the drain."""
+        registry = _obs_metrics.REGISTRY
+        if registry is None:
+            return
+        registry.counter("sim.events_processed").inc()
+        sampler = _obs_timeseries.SAMPLER
+        if sampler is not None and when >= sampler.next_due_ms:
+            sampler.sample(when)
+        if callbacks:
+            # Boundary accounting (obs-gated: it walks callbacks): an
+            # event firing in one domain that resumes a process of
+            # another is exactly a cross-domain boundary message.
+            for callback in callbacks:
+                owner = getattr(callback, "__self__", None)
+                if isinstance(owner, Process) and owner._domain != current:
+                    self.boundary_events += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def domain_stats(self) -> Dict[str, object]:
+        """Epoch/boundary statistics for observability collection."""
+        return {
+            "plan": self.plan.name,
+            "domains": len(self._heaps),
+            "lookahead_ms": self._lookahead,
+            "epochs": self.epochs,
+            "switches": self.switches,
+            "boundary_events": self.boundary_events,
+            "events_per_domain": list(self.events_per_domain),
+            "edges": len(self.plan.edges),
+        }

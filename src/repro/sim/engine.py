@@ -59,6 +59,11 @@ class Environment:
         return self._now
 
     @property
+    def pending(self) -> int:
+        """Number of scheduled events that have not fired yet."""
+        return len(self._queue)
+
+    @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
@@ -70,8 +75,19 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
-        return Process(self, generator)
+    def process(
+        self, generator: Generator, label: Optional[str] = None
+    ) -> Process:
+        return Process(self, generator, label=label)
+
+    def domain_of(self, label: Optional[str]) -> int:
+        """Simulation domain for a new process (see ``repro.sim.domains``).
+
+        The serial engine runs everything in domain 0; a sharded
+        environment overrides this to place labeled components on their
+        partition's event heap.
+        """
+        return 0
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -120,13 +136,27 @@ class Environment:
                 sampler.sample(self._now)
 
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not getattr(event, "_defused", False):
             # An unhandled failure: surface it rather than losing it.
             exc = event._value
             raise exc
+
+    def _run_loop(self, stop_at: float) -> None:
+        """Drain all events strictly before ``stop_at``.
+
+        ``peek() == inf`` doubles as the exhaustion check.  Subclasses
+        with partitioned heaps may override this hot loop (the sharded
+        environment inlines an n-way-merge drain) but must preserve its
+        contract exactly: events fire in ``(time, priority, sequence)``
+        order, :class:`StopSimulation` propagates to :meth:`run`, and the
+        loop returns once the next event is at or past ``stop_at``.
+        """
+        while self.peek() < stop_at:
+            self.step()
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (an event, a time, or exhaustion).
@@ -144,6 +174,7 @@ class Environment:
                 stop_event = until
                 if stop_event.processed:
                     return stop_event.value
+                assert stop_event.callbacks is not None
                 stop_event.callbacks.append(self._stop_callback)
             else:
                 stop_at = float(until)
@@ -153,8 +184,7 @@ class Environment:
                     )
 
         try:
-            while self._queue and self.peek() < stop_at:
-                self.step()
+            self._run_loop(stop_at)
         except StopSimulation:
             assert stop_event is not None
             if not stop_event._ok:

@@ -9,10 +9,27 @@ implementation here is self-contained (no third-party dependency).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
+
+if TYPE_CHECKING:
+    from .engine import Environment
 
 #: Sentinel for an event that has not been triggered yet.
 PENDING = object()
+
+
+def _annotate(exc: BaseException, note: str) -> None:
+    """Attach ``note`` to ``exc`` when the runtime supports it (3.11+).
+
+    Process crashes used to surface from :meth:`Environment.run` as a bare
+    exception with no hint of *which* coroutine died; the note carries the
+    owning component label and the simulated time of death.
+    """
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        existing = getattr(exc, "__notes__", None) or []
+        if note not in existing:
+            add_note(note)
 
 #: Event processing priorities: URGENT events (process resumptions) run
 #: before NORMAL events scheduled for the same simulated instant.
@@ -52,7 +69,12 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
-    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+    #: Set (never read) on a failed event whose exception has been
+    #: delivered to a waiter; the engine's step() re-raises undefused
+    #: failures so they cannot be silently lost.
+    _defused: bool
+
+    def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
@@ -113,7 +135,7 @@ class Timeout(Event):
 
     __slots__ = ("_delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
@@ -132,8 +154,9 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
+    def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
+        assert self.callbacks is not None
         self.callbacks.append(process._resume)
         self._ok = True
         self._value = None
@@ -148,20 +171,46 @@ class Process(Event):
     other processes directly (``yield env.process(...)``).
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_label", "_domain")
 
-    def __init__(self, env: "Environment", generator):  # noqa: F821
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        label: Optional[str] = None,
+    ):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        # Component identity for error reporting and domain routing; both
+        # must be in place before Initialize schedules the first resume.
+        self._label = label
+        self._domain = env.domain_of(label)
         Initialize(env, self)
 
     @property
     def target(self) -> Optional[Event]:
         """The event this process is currently waiting on."""
         return self._target
+
+    @property
+    def label(self) -> Optional[str]:
+        """Component label for error reporting (e.g. ``"vp:vp3/app"``)."""
+        return self._label
+
+    @property
+    def domain(self) -> int:
+        """Simulation domain this process's events are routed to."""
+        return self._domain
+
+    def _describe(self) -> str:
+        if self._label is not None:
+            return self._label
+        gen = self._generator
+        name = getattr(gen, "__qualname__", None) or getattr(gen, "__name__", None)
+        return name if isinstance(name, str) else repr(gen)
 
     @property
     def is_alive(self) -> bool:
@@ -200,6 +249,11 @@ class Process(Event):
                     self.env.schedule(self, priority=NORMAL)
                     break
                 except BaseException as exc:
+                    _annotate(
+                        exc,
+                        f"raised in simulation process {self._describe()!r} "
+                        f"at t={self.env.now}ms",
+                    )
                     self._ok = False
                     self._value = exc
                     self.env.schedule(self, priority=NORMAL)
@@ -216,6 +270,11 @@ class Process(Event):
                     self.env.schedule(self, priority=NORMAL)
                     break
                 except BaseException as raised:
+                    _annotate(
+                        raised,
+                        f"raised in simulation process {self._describe()!r} "
+                        f"at t={self.env.now}ms",
+                    )
                     self._ok = False
                     self._value = raised
                     self.env.schedule(self, priority=NORMAL)
@@ -250,7 +309,7 @@ class Condition(Event):
 
     def __init__(
         self,
-        env: "Environment",  # noqa: F821
+        env: "Environment",
         evaluate: Callable[[List[Event], int], bool],
         events: Iterable[Event],
     ):
@@ -306,7 +365,7 @@ class AllOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env, events):  # noqa: F821
+    def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.all_events, events)
 
 
@@ -315,5 +374,5 @@ class AnyOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, env, events):  # noqa: F821
+    def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.any_events, events)

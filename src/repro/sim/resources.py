@@ -10,7 +10,8 @@ producer/consumer queues for IPC channels and the host job queue.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from types import TracebackType
+from typing import Any, Callable, List, Optional, Type
 
 from .engine import Environment
 from .events import Event
@@ -27,7 +28,12 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.resource.release(self)
 
     def cancel(self) -> None:

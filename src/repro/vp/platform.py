@@ -100,7 +100,7 @@ class VirtualPlatform:
             self.finished_at_ms = self.env.now
             return result
 
-        process = self.env.process(wrapper())
+        process = self.env.process(wrapper(), label=f"vp:{self.name}/app")
         self._processes.append(process)
         return process
 

@@ -120,6 +120,82 @@ class TestScenarioFarm:
         assert any(r.worker_pid != os.getpid() for r in results)
 
 
+class TestPersistentPool:
+    """`persistent=True` keeps one warm pool across map() rounds."""
+
+    @staticmethod
+    def _jobs(n=4, tag=0):
+        return [
+            FarmJob(fn="tests.test_exec_farm:_seeded",
+                    kwargs={"value": i, "seed": tag})
+            for i in range(n)
+        ]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_pool_survives_between_rounds(self):
+        with ScenarioFarm(workers=2, warmup=False, persistent=True) as farm:
+            first = farm.map(self._jobs())
+            pool = farm._pool
+            assert pool is not None
+            second = farm.map(self._jobs())
+            # Same executor object and the same forked workers served
+            # both rounds: nothing re-forked, re-warmed, or re-shipped.
+            assert farm._pool is pool
+            assert {r.worker_pid for r in second} <= {r.worker_pid for r in first} | {
+                r.worker_pid for r in second
+            }
+            assert [r.value for r in first] == [r.value for r in second]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_changed_job_list_rebuilds_the_pool(self):
+        with ScenarioFarm(workers=2, warmup=False, persistent=True) as farm:
+            farm.map(self._jobs(tag=0))
+            pool = farm._pool
+            farm.map(self._jobs(tag=1))  # different config-hash keys
+            assert farm._pool is not pool
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_close_releases_and_map_recovers(self):
+        farm = ScenarioFarm(workers=2, warmup=False, persistent=True)
+        try:
+            farm.map(self._jobs())
+            farm.close()
+            assert farm._pool is None
+            assert [r.value for r in farm.map(self._jobs())] == [
+                {"value": i, "seed": 0} for i in range(4)
+            ]
+        finally:
+            farm.close()
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_context_manager_shuts_the_pool_down(self):
+        with ScenarioFarm(workers=2, warmup=False, persistent=True) as farm:
+            farm.map(self._jobs())
+            assert farm._pool is not None
+        assert farm._pool is None
+
+    def test_serial_persistent_farm_never_builds_a_pool(self):
+        with ScenarioFarm(workers=1, warmup=False, persistent=True) as farm:
+            assert farm.map_values(self._jobs(2)) == [
+                {"value": 0, "seed": 0},
+                {"value": 1, "seed": 0},
+            ]
+            assert farm._pool is None
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_persistent_digest_matches_one_shot(self):
+        jobs = [
+            FarmJob(fn="repro.exec.jobs:scenario_summary", label="vectorAdd2",
+                    kwargs={"app": "vectorAdd", "n_vps": 2, "transport": "shm"}),
+            FarmJob(fn="repro.exec.jobs:fig9b_point", label="fig9b:n2",
+                    kwargs={"n_programs": 2}),
+        ]
+        one_shot = ScenarioFarm(workers=2).map(jobs)
+        with ScenarioFarm(workers=2, persistent=True) as farm:
+            persistent = farm.map(jobs)
+        assert results_digest(persistent) == results_digest(one_shot)
+
+
 #: A small cross-section of real simulation jobs: a scenario route, an
 #: interleaving point, a coalescing point, and a Table-1 route.
 DETERMINISM_JOBS = [

@@ -1,0 +1,247 @@
+"""Unit tests for :mod:`repro.sim.domains` and process-crash reporting.
+
+The conformance suite (``test_shard_conformance.py``) proves whole
+scenarios are partition-invariant; this file exercises the mechanics
+underneath — plan assignment and memoization, lookahead derivation, the
+partitioned heap's exact merge, epoch/switch/boundary accounting — plus
+the process-label error notes :meth:`Environment.run` surfaces when a
+simulation coroutine dies.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.sim import EmptySchedule, Environment, ShardedEnvironment
+from repro.sim.domains import (
+    DEFAULT_LOOKAHEAD_MS,
+    MIN_LOOKAHEAD_MS,
+    DomainEdge,
+    DomainPlan,
+)
+
+
+def _plan(n_domains=3, mapping=None, name="test"):
+    """A plan routing ``kind:name`` prefixes through ``mapping``."""
+    mapping = mapping if mapping is not None else {"vp:a": 1, "vp:b": 2}
+
+    def assign(label):
+        prefix = label.partition("/")[0]
+        return mapping.get(prefix)
+
+    return DomainPlan(n_domains, assign, name=name)
+
+
+# -- DomainPlan --------------------------------------------------------------
+
+
+class TestDomainPlan:
+    def test_rejects_empty_partitions(self):
+        with pytest.raises(ValueError):
+            DomainPlan(0)
+
+    def test_assignment_is_memoized_per_component_prefix(self):
+        calls = []
+
+        def assign(label):
+            calls.append(label)
+            return 1
+
+        plan = DomainPlan(2, assign)
+        # Per-instance suffixes share the component's memo entry.
+        assert plan.domain_of("gpu:0/execute(vp1#1)") == 1
+        assert plan.domain_of("gpu:0/execute(vp2#9)") == 1
+        assert plan.domain_of("gpu:0/compute") == 1
+        assert len(calls) == 1
+
+    def test_out_of_range_assignment_is_an_error(self):
+        plan = DomainPlan(2, lambda label: 5)
+        with pytest.raises(ValueError):
+            plan.domain_of("vp:a/app")
+
+    def test_unassigned_labels_inherit(self):
+        assert _plan().domain_of("driver:emulation/serialized") is None
+
+    def test_lookahead_is_min_positive_edge_latency(self):
+        plan = _plan()
+        assert plan.lookahead_ms == DEFAULT_LOOKAHEAD_MS
+        plan.declare_edge("vp:a", "dispatcher:host", 0.55, kind="ipc")
+        plan.declare_edge("dispatcher:host", "vp:a", 0.1, kind="coalesce")
+        assert plan.lookahead_ms == 0.1
+
+    def test_zero_latency_edges_floor_at_the_minimum(self):
+        plan = _plan()
+        plan.declare_edge("a", "b", 0.0)
+        assert plan.lookahead_ms == MIN_LOOKAHEAD_MS
+
+    def test_negative_edge_latency_is_an_error(self):
+        with pytest.raises(ValueError):
+            DomainEdge("a", "b", -1.0)
+
+    def test_round_robin_spreads_vps_and_keeps_host_side_central(self):
+        plan = DomainPlan.round_robin(3)
+        first = plan.domain_of("vp:vp0/app")
+        second = plan.domain_of("vp:vp1/app")
+        assert {first, second} == {1, 2}
+        # Stable on re-query.
+        assert plan.domain_of("vp:vp0/control") == first
+        assert plan.domain_of("gpu:0/compute") == 0
+        assert plan.domain_of("dispatcher:host/run") == 0
+        assert plan.domain_of("driver:emulation/serialized") is None
+
+    def test_per_gpu_colocates_vps_with_their_device(self):
+        plan = DomainPlan.per_gpu(2, {"vp0": 0, "vp1": 1}.get)
+        assert plan.n_domains == 3
+        assert plan.domain_of("gpu:0/compute") == 1
+        assert plan.domain_of("gpu:1/copy") == 2
+        assert plan.domain_of("vp:vp0/app") == 1
+        assert plan.domain_of("vp:vp1/app") == 2
+        # Unplaceable VPs ride the control domain.
+        assert plan.domain_of("vp:vp9/app") == 0
+        assert plan.domain_of("dispatcher:host/run") == 0
+
+    def test_per_vp_group_gives_each_vp_its_own_domain(self):
+        plan = DomainPlan.per_vp_group(2)
+        a = plan.domain_of("vp:a/app")
+        b = plan.domain_of("vp:b/app")
+        c = plan.domain_of("vp:c/app")
+        assert {a, b} == {1, 2}
+        assert c == a  # wraps modulo the group count
+        assert plan.domain_of("gpu:0/compute") == 0
+        with pytest.raises(ValueError):
+            DomainPlan.per_vp_group(0)
+
+
+# -- ShardedEnvironment mechanics --------------------------------------------
+
+
+def _ticker(env, trace, tag, delays):
+    for delay in delays:
+        yield env.timeout(delay)
+        trace.append((env.now, tag))
+
+
+def _run_scripted(env):
+    """Three interleaving processes across domains; returns the trace."""
+    trace = []
+    env.process(_ticker(env, trace, "a", [0.3, 0.3, 0.3, 2.0]), label="vp:a/app")
+    env.process(_ticker(env, trace, "b", [0.2, 0.5, 0.2, 1.5]), label="vp:b/app")
+    env.process(_ticker(env, trace, "host", [0.25, 1.0]), label="gpu:0/compute")
+    env.run()
+    return trace
+
+
+class TestShardedEnvironment:
+    def test_merge_order_matches_the_serial_engine(self):
+        serial = _run_scripted(Environment())
+        sharded_env = ShardedEnvironment(_plan(mapping={"vp:a": 1, "vp:b": 2, "gpu:0": 0}))
+        assert _run_scripted(sharded_env) == serial
+        assert sharded_env.pending == 0
+        # Every domain processed its own component's events.
+        assert all(n > 0 for n in sharded_env.events_per_domain)
+
+    def test_step_on_an_exhausted_environment_raises(self):
+        env = ShardedEnvironment(_plan())
+        with pytest.raises(EmptySchedule):
+            env.step()
+        assert env.peek() == float("inf")
+
+    def test_switches_count_cross_domain_handoffs(self):
+        env = ShardedEnvironment(_plan(mapping={"vp:a": 1, "vp:b": 2}))
+        _run_scripted(env)
+        assert env.switches > 0
+
+    def test_epochs_advance_at_the_lookahead_horizon(self):
+        env = ShardedEnvironment(_plan())
+        assert env.lookahead_ms == DEFAULT_LOOKAHEAD_MS
+        trace = []
+        env.process(_ticker(env, trace, "a", [0.6] * 10), label="vp:a/app")
+        env.run()
+        # 6ms of simulated time at a 1ms horizon: epochs keep pace.
+        assert 4 <= env.epochs <= 7
+
+    def test_refresh_lookahead_picks_up_declared_edges(self):
+        plan = _plan()
+        env = ShardedEnvironment(plan)
+        plan.declare_edge("vp:a", "dispatcher:host", 0.25, kind="ipc")
+        env.refresh_lookahead()
+        assert env.lookahead_ms == 0.25
+
+    def test_unlabeled_children_inherit_the_spawning_domain(self):
+        env = ShardedEnvironment(_plan(mapping={"vp:a": 1}))
+        child_domains = []
+
+        def child(env):
+            yield env.timeout(0.1)
+
+        def parent(env):
+            yield env.timeout(0.1)
+            child_domains.append(env.process(child(env)).domain)
+
+        env.process(parent(env), label="vp:a/app")
+        # Spawned outside any process: control domain.
+        outside = env.process(child(env))
+        assert outside.domain == 0
+        env.run()
+        assert child_domains == [1]
+
+    def test_boundary_events_count_cross_domain_resumes(self):
+        env = ShardedEnvironment(_plan(mapping={"vp:a": 1, "vp:b": 2}))
+
+        def waiter(env, event):
+            yield event
+
+        def firer(env, event):
+            yield env.timeout(0.5)
+            event.succeed()
+
+        event = env.event()
+        env.process(waiter(env, event), label="vp:a/app")
+        env.process(firer(env, event), label="vp:b/app")
+        obs_metrics.enable()
+        try:
+            env.run()
+        finally:
+            obs_metrics.disable()
+        # b's succeed() fires on domain 2's heap but resumes a's process.
+        assert env.boundary_events >= 1
+
+    def test_domain_stats_reports_the_partition(self):
+        env = ShardedEnvironment(_plan(name="unit"))
+        _run_scripted(env)
+        stats = env.domain_stats()
+        assert stats["plan"] == "unit"
+        assert stats["domains"] == 3
+        assert stats["epochs"] == env.epochs
+        assert sum(stats["events_per_domain"]) > 0
+
+
+# -- crash reporting (Environment.run surfaces the raising process) ----------
+
+
+def _crasher(env):
+    yield env.timeout(1.5)
+    raise RuntimeError("boom")
+
+
+@pytest.mark.parametrize(
+    "make_env",
+    [Environment, lambda: ShardedEnvironment(_plan(mapping={"vp:a": 1}))],
+    ids=["serial", "sharded"],
+)
+def test_run_names_the_process_that_raised(make_env):
+    env = make_env()
+    env.process(_crasher(env), label="vp:a/app")
+    with pytest.raises(RuntimeError, match="boom") as excinfo:
+        env.run()
+    notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+    assert "vp:a/app" in notes
+    assert "t=1.5ms" in notes
+
+
+def test_unlabeled_processes_fall_back_to_the_generator_name():
+    env = Environment()
+    env.process(_crasher(env))
+    with pytest.raises(RuntimeError, match="boom") as excinfo:
+        env.run()
+    notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+    assert "_crasher" in notes
