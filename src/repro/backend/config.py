@@ -1,0 +1,34 @@
+"""Backend selection as configuration.
+
+:class:`BackendConfig` is the JSON-able record that rides on
+``SchedulerConfig`` — the scheduling layer already threads frozen config
+dataclasses end-to-end (policy, placement, cost knobs), and backend
+selection follows the same groove: a registry *name* plus constructor
+options, resolved to a live :class:`~repro.backend.api.ExecutionBackend`
+exactly once, when the framework is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Which execution backend to build, and with what options.
+
+    ``name`` is a key in the backend registry (``repro backends`` lists
+    them); ``options`` are forwarded to the backend factory verbatim.
+    """
+
+    name: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("backend name must be non-empty")
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able summary for reports and logs."""
+        return {"name": self.name, "options": dict(self.options)}

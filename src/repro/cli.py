@@ -21,6 +21,8 @@ Commands:
                                    performance trajectory
 * ``policies``                   — list registered scheduling policies
                                    and placement strategies
+* ``backends``                   — list registered execution backends
+                                   and their availability
 * ``cache stats|clear``          — inspect / purge the persistent
                                    cross-process artifact cache
 
@@ -31,6 +33,9 @@ Commands:
 ``--no-disk-cache`` (before the subcommand) disables the persistent
 disk tier for the invocation; ``REPRO_DISK_CACHE=0`` does the same via
 the environment and ``REPRO_CACHE_DIR`` relocates the store.
+``--backend NAME`` (also before the subcommand) selects the execution
+backend for functional kernel work — ``REPRO_BACKEND`` is the
+environment equivalent; see ``repro backends`` and ``docs/BACKENDS.md``.
 """
 
 from __future__ import annotations
@@ -113,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "back to the scalar reference model "
                              "(equivalent to REPRO_VECTIMES=0; results "
                              "are bit-identical)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend for functional kernel "
+                             "work (equivalent to REPRO_BACKEND; see "
+                             "`repro backends`; results are "
+                             "bit-identical across backends)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the workload catalog")
@@ -197,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "policies",
         help="list registered scheduling policies and placement strategies",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list registered execution backends, their availability and "
+             "capability flags",
     )
 
     cache = sub.add_parser(
@@ -312,12 +328,20 @@ def _cmd_list() -> None:
 
 
 def _sched_kwargs(args: argparse.Namespace) -> dict:
-    """Non-default --policy/--placement values as job/framework kwargs."""
+    """Non-default --policy/--placement/--backend values as job kwargs.
+
+    Only explicitly requested values enter the kwargs, so default runs
+    keep their pre-existing config-hash keys.  An explicit ``--backend``
+    *does* enter the job key (it names how the run was produced), even
+    though results are digest-identical across backends by contract.
+    """
     kwargs = {}
     if getattr(args, "policy", None) is not None:
         kwargs["policy"] = args.policy
     if getattr(args, "placement", None) is not None:
         kwargs["placement"] = args.placement
+    if getattr(args, "backend", None) is not None:
+        kwargs["backend"] = args.backend
     return kwargs
 
 
@@ -404,7 +428,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         coalescing=not args.no_coalescing,
         n_vps=args.vps,
         n_host_gpus=args.gpus,
-        sched=SchedulerConfig.from_names(args.policy, args.placement),
+        sched=SchedulerConfig.from_names(args.policy, args.placement,
+                                         backend=args.backend),
         **registry_kwargs,
     )
     total = framework.run_workload(spec)
@@ -621,7 +646,8 @@ def _cmd_account(args: argparse.Namespace) -> None:
         coalescing=not args.no_coalescing,
         n_vps=args.vps,
         n_host_gpus=args.gpus,
-        sched=SchedulerConfig.from_names(args.policy, args.placement),
+        sched=SchedulerConfig.from_names(args.policy, args.placement,
+                                         backend=args.backend),
         registry=FunctionalRegistry(),
     )
     total = framework.run_workload(spec)
@@ -683,6 +709,31 @@ def _cmd_policies() -> None:
           "--placement NAME")
 
 
+def _cmd_backends() -> None:
+    from .backend import backend_status, default_backend_name
+
+    default = default_backend_name()
+    rows = []
+    for status in backend_status():
+        name = status["name"]
+        rows.append((
+            name + (" *" if name == default else ""),
+            "yes" if status["available"] else "no",
+            "yes" if status["supports_batched"] else "no",
+            "yes" if status["zero_copy"] else "no",
+            status["description"] if status["available"]
+            else status["reason"] or status["description"],
+        ))
+    print(render_table(
+        ["Backend", "Available", "Batched", "Zero-copy", "Description"],
+        rows,
+        title="Execution backends (* = process default)",
+    ))
+    print()
+    print("Select with: repro --backend NAME <command>, REPRO_BACKEND=NAME, "
+          "or backend= in SchedulerConfig")
+
+
 def _cmd_cache(action: str) -> None:
     import json
 
@@ -698,7 +749,8 @@ def _cmd_cache(action: str) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.no_disk_cache:
         from . import cache as repro_cache
 
@@ -707,6 +759,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .gpu import vectimes as _vectimes
 
         _vectimes.set_vectimes_enabled(False)
+    if args.backend is not None:
+        from .backend import set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except ValueError as exc:
+            parser.error(str(exc))
     if args.command == "list":
         _cmd_list()
     elif args.command == "run":
@@ -795,6 +854,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {path}")
     elif args.command == "policies":
         _cmd_policies()
+    elif args.command == "backends":
+        _cmd_backends()
     elif args.command == "cache":
         _cmd_cache(args.action)
     elif args.command == "validate":

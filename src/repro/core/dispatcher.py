@@ -32,8 +32,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from ..backend.api import ExecutionBackend
+from ..backend.registry import default_backend
 from ..gpu import vectimes as _vectimes
 from ..gpu.device import HostGPU
 from ..gpu.engines import Engine
@@ -43,7 +43,6 @@ from ..kernels.functional import (
     REGISTRY,
     FunctionalRegistry,
     batching_enabled,
-    run_batched,
 )
 from ..obs import metrics as _obs_metrics
 from ..obs import tracer as _obs_trace
@@ -115,6 +114,7 @@ class JobDispatcher:
         extra_gpus: Optional[List[HostGPU]] = None,
         placement: Optional[PlacementStrategy] = None,
         config: Optional[SchedulerConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         self.env = env
         self.gpu = gpu
@@ -129,6 +129,9 @@ class JobDispatcher:
         self.mode = mode
         self.coalescer = coalescer
         self.registry = registry
+        #: The execution backend every functional effect routes through
+        #: (launches, batched launches, H2D/D2H payload movement).
+        self.backend = backend if backend is not None else default_backend(registry)
         self.profiler = profiler
         self.config = config if config is not None else SchedulerConfig()
         self.backlog = EngineBacklog(debug=self.config.debug_enabled)
@@ -384,15 +387,13 @@ class JobDispatcher:
             for member in self._effective_members(job):
                 if member.host_data is not None and member.handle is not None:
                     buffer = self.handles.buffer(member.handle)
-                    # A read-only view instead of a defensive copy: apps
-                    # never mutate a submitted array in place (kernels
-                    # rebind payloads, they do not write through), and
-                    # the cleared writeable flag turns any future
-                    # violation into a loud ValueError instead of a
-                    # silent wrong result.
-                    view = np.asarray(member.host_data).view()
-                    view.flags.writeable = False
-                    buffer.payload = view
+                    # Zero-copy backends hand back a read-only view
+                    # instead of a defensive copy: apps never mutate a
+                    # submitted array in place (kernels rebind payloads,
+                    # they do not write through), and the cleared
+                    # writeable flag turns any future violation into a
+                    # loud ValueError instead of a silent wrong result.
+                    buffer.payload = self.backend.h2d(member.host_data)
 
         return apply
 
@@ -400,7 +401,9 @@ class JobDispatcher:
         def apply() -> None:
             for member in self._effective_members(job):
                 if member.sink is not None and member.handle is not None:
-                    member.sink(self.handles.buffer(member.handle).payload)
+                    member.sink(
+                        self.backend.d2h(self.handles.buffer(member.handle).payload)
+                    )
 
         return apply
 
@@ -420,38 +423,37 @@ class JobDispatcher:
             for member in members:
                 if member.kernel is None or member.out_handle is None:
                     continue
-                fn = self.registry.get(member.kernel.signature)
-                if fn is None:
-                    continue
                 inputs = [
                     self.handles.buffer(h).payload for h in member.arg_handles
                 ]
-                result = fn(*inputs, **member.params)
+                result = self.backend.launch(
+                    member.kernel.signature, inputs, member.params
+                )
+                if result is None:
+                    continue
                 self.handles.buffer(member.out_handle).payload = result
 
         return apply
 
     def _apply_batched(self, members: List[Job]) -> bool:
-        """Run a merged job's functional effect as ONE stacked numpy op.
+        """Run a merged job's functional effect as ONE stacked backend op.
 
         All members of a coalesced launch share a signature by
-        construction; the batch additionally requires a batch-flagged
-        implementation, leaf members with uniform parameters, and (via
-        :func:`run_batched`) uniform shapes/dtypes.  Returns ``False``
-        on any precondition failure — the caller then takes the per-VP
+        construction; the batch additionally requires a backend with the
+        ``supports_batched`` capability, a batch-flagged implementation,
+        leaf members with uniform parameters, and (inside
+        ``launch_batched``) uniform shapes/dtypes.  Returns ``False`` on
+        any precondition failure — the caller then takes the per-VP
         fallback, which is always correct.
         """
         if not batching_enabled():
+            return False
+        if not self.backend.supports_batched:
             return False
         first = members[0]
         if first.kernel is None or first.out_handle is None:
             return False
         signature = first.kernel.signature
-        if not self.registry.is_batched(signature):
-            return False
-        fn = self.registry.get(signature)
-        if fn is None:
-            return False
         params = first.params
         for member in members:
             if member.members:  # nested merge: keep the recursive path
@@ -464,7 +466,7 @@ class JobDispatcher:
             tuple(self.handles.buffer(h).payload for h in member.arg_handles)
             for member in members
         ]
-        rows = run_batched(fn, inputs_list, params)
+        rows = self.backend.launch_batched(signature, inputs_list, params)
         if rows is None:
             return False
         for member, row in zip(members, rows):

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..backend.registry import make_backend
 from ..gpu.arch import GPUArchitecture, QUADRO_4000, TEGRA_K1
 from ..gpu.device import HostGPU
 from ..kernels.functional import REGISTRY, FunctionalRegistry
@@ -72,12 +73,32 @@ class SigmaVP:
         if n_host_gpus < 1:
             raise ValueError(f"n_host_gpus must be >= 1, got {n_host_gpus}")
         self.env = env or Environment()
+        # The scheduler config names the pluggable stages and the
+        # execution backend; resolved here, before any component that
+        # routes functional work through the backend seam is built.
+        self.sched = sched if sched is not None else SchedulerConfig()
+        self.backend = make_backend(
+            self.sched.resolve_backend(),
+            registry=registry,
+            **self.sched.backend_options(),
+        )
+        # An explicitly configured backend must be usable; the implicit
+        # default is validated lazily so timing-only runs keep working
+        # in environments where the default backend cannot.
+        if self.sched.backend is not None:
+            self.backend.require_available()
         # "SigmaVP multiplexes the host GPUs": one or more devices (the
         # Grid K520 board, for instance, carries two GK104 GPUs).  All
         # devices share one kernel compiler so compilation caches once.
         shared_compiler = KernelCompiler()
         self.gpus = [
-            HostGPU(self.env, host_arch, compiler=shared_compiler, index=i)
+            HostGPU(
+                self.env,
+                host_arch,
+                compiler=shared_compiler,
+                index=i,
+                backend=self.backend,
+            )
             for i in range(n_host_gpus)
         ]
         self.gpu = self.gpus[0]
@@ -106,10 +127,9 @@ class SigmaVP:
 
         # Interleaving = the optimized service discipline; without it the
         # prototype serves one request to completion at a time (the
-        # baseline of paper Figs. 3a and 9).  The scheduler config names
-        # the pluggable stages; by default the policy follows the
-        # ``interleaving`` flag and placement is the legacy round-robin.
-        self.sched = sched if sched is not None else SchedulerConfig()
+        # baseline of paper Figs. 3a and 9).  By default the policy
+        # follows the ``interleaving`` flag and placement is the legacy
+        # round-robin.
         policy = make_policy(
             self.sched.resolve_policy(interleaving), **self.sched.policy_options
         )
@@ -130,6 +150,7 @@ class SigmaVP:
             extra_gpus=self.gpus[1:],
             placement=placement,
             config=self.sched,
+            backend=self.backend,
         )
         if coalescer is not None:
             # Triples merge only within one device's VPs.
@@ -174,7 +195,9 @@ class SigmaVP:
             raise ValueError(f"VP {name!r} already exists")
         vp = VirtualPlatform(self.env, name, cpu=cpu or self._vp_cpu)
         self.ipc.vp_control.register(vp)
-        backend = SigmaVPBackend(self.env, vp, self.ipc, self.handles)
+        backend = SigmaVPBackend(
+            self.env, vp, self.ipc, self.handles, exec_backend=self.backend
+        )
         session = VPSession(vp=vp, runtime=CudaRuntime(backend), processes=[])
         self.sessions[name] = session
         if self._auto_target_batch:

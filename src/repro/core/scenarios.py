@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..backend.api import ExecutionBackend
+from ..backend.registry import make_backend
 from ..gpu.arch import GPUArchitecture, QUADRO_4000
 from ..gpu.device import HostGPU
 from ..kernels.functional import REGISTRY, FunctionalRegistry
@@ -81,17 +83,36 @@ def _registry(functional: bool) -> FunctionalRegistry:
     return REGISTRY if functional else NULL_REGISTRY
 
 
+def _exec_backend(
+    backend: Optional[str], registry: FunctionalRegistry
+) -> Optional[ExecutionBackend]:
+    """Build the explicitly named execution backend, or ``None``.
+
+    ``None`` lets each component fall back to the process default
+    (``--backend`` / ``REPRO_BACKEND``), which keeps job config-hash
+    keys untouched for default runs.  An explicit name must be usable.
+    """
+    if backend is None:
+        return None
+    return make_backend(backend, registry=registry).require_available()
+
+
 def run_native_gpu(
     spec: WorkloadSpec,
     functional: bool = False,
     host_arch: GPUArchitecture = QUADRO_4000,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """CUDA executed natively on the host GPU (Table 1, row 1)."""
     env = Environment()
-    gpu = HostGPU(env, host_arch)
+    registry = _registry(functional)
+    exec_backend = _exec_backend(backend, registry)
+    gpu = HostGPU(env, host_arch, backend=exec_backend)
     host = VirtualPlatform(env, "host", cpu=HOST_XEON)
-    backend = NativeGPUBackend(env, gpu, host, registry=_registry(functional))
-    runtime = CudaRuntime(backend)
+    backend_ = NativeGPUBackend(
+        env, gpu, host, registry=registry, exec_backend=exec_backend
+    )
+    runtime = CudaRuntime(backend_)
     process = host.run_app(build_app(spec, runtime))
     env.run(process)
     return ScenarioResult(
@@ -110,6 +131,7 @@ def run_emulation(
     cpu: CPUModel = QEMU_ARM_VP,
     functional: bool = False,
     concurrent: bool = False,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """CUDA interpreted in software (Table 1 rows 2-3; Fig. 11 blue bars).
 
@@ -126,14 +148,17 @@ def run_emulation(
         raise ValueError(f"n_instances must be positive, got {n_instances}")
     env = Environment()
     registry = _registry(functional)
+    exec_backend = _exec_backend(backend, registry)
     processes = []
     platforms = []
 
     def serialized():
         for index in range(n_instances):
             platform = VirtualPlatform(env, f"emu{index}", cpu=cpu)
-            backend = EmulationBackend(env, platform, registry=registry)
-            runtime = CudaRuntime(backend)
+            emu = EmulationBackend(
+                env, platform, registry=registry, exec_backend=exec_backend
+            )
+            runtime = CudaRuntime(emu)
             process = platform.run_app(build_app(spec, runtime, seed=index))
             platforms.append(platform)
             processes.append(process)
@@ -142,8 +167,10 @@ def run_emulation(
     if concurrent:
         for index in range(n_instances):
             platform = VirtualPlatform(env, f"emu{index}", cpu=cpu)
-            backend = EmulationBackend(env, platform, registry=registry)
-            runtime = CudaRuntime(backend)
+            emu = EmulationBackend(
+                env, platform, registry=registry, exec_backend=exec_backend
+            )
+            runtime = CudaRuntime(emu)
             processes.append(platform.run_app(build_app(spec, runtime, seed=index)))
             platforms.append(platform)
         env.run(env.all_of(processes))
@@ -176,6 +203,7 @@ def run_sigma_vp(
     placement: Optional[str] = None,
     sched: Optional[SchedulerConfig] = None,
     shards: Optional[object] = None,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """The SigmaVP pipeline (Table 1 row 4; Fig. 11 speedup lines).
 
@@ -190,14 +218,18 @@ def run_sigma_vp(
     domain count, ``"per-gpu"``, or ``"per-vp-group"``; see
     :mod:`repro.sim.domains`).  Sharding is a run mechanic, not part of
     the scenario identity: results are digest-identical to the serial
-    engine by construction, so the label is unchanged.
+    engine by construction, so the label is unchanged.  ``backend``
+    (an execution-backend name) is likewise a run mechanic: registered
+    backends are digest-interchangeable, so it never enters the label.
     """
     if n_vps <= 0:
         raise ValueError(f"n_vps must be positive, got {n_vps}")
     if sched is None:
-        sched = SchedulerConfig.from_names(policy, placement)
-    elif policy is not None or placement is not None:
-        raise ValueError("pass either sched= or policy=/placement=, not both")
+        sched = SchedulerConfig.from_names(policy, placement, backend=backend)
+    elif policy is not None or placement is not None or backend is not None:
+        raise ValueError(
+            "pass either sched= or policy=/placement=/backend=, not both"
+        )
     env: Optional[Environment] = None
     if shards is not None:
         plan = scenario_plan(

@@ -45,6 +45,14 @@ Every bench also records a **timing** section
 batched timing engine (:mod:`repro.gpu.vectimes`) versus the scalar
 reference walk, digest-equal, with the ``exec.vectimes_*`` counters
 proving the array engine actually served launches.
+
+And a **backend** section (:func:`_backend_section`): the functional
+suite once per *available* registered execution backend
+(``repro backends``), digest-equal across all of them — backends are
+interchangeable run mechanics — with the ``exec.backend_*`` counters
+proving each backend actually served the launches, and unavailable
+backends (e.g. ``cupy`` without the package) recorded as skipped, never
+as errors.
 """
 
 from __future__ import annotations
@@ -203,6 +211,10 @@ class BenchDiskCacheError(AssertionError):
 
 class BenchShardError(AssertionError):
     """The domain-sharding section missed a speedup acceptance bound."""
+
+
+class BenchBackendError(AssertionError):
+    """The execution-backend section found a backend not doing its job."""
 
 
 #: Maximum allowed slowdown of the tracing-disabled serial-warm mode
@@ -495,6 +507,82 @@ def _batched_section(suite: Sequence[FarmJob] = BATCHED_SUITE) -> Dict[str, Any]
     }
 
 
+def _backend_section(
+    suite: Optional[Sequence[FarmJob]] = None, quick: bool = False
+) -> Dict[str, Any]:
+    """Execution-backend section: every available backend, one digest.
+
+    Runs the functional suite once per *available* registered execution
+    backend under ``backend_scope`` — scoping (not job kwargs) keeps the
+    config-hash keys identical, so the digests are directly comparable —
+    with the in-memory memos cleared between backends so each run truly
+    executes.  Requires (a) bit-identical digests across every available
+    backend (they are interchangeable run mechanics by contract), and
+    (b) non-zero ``exec.backend_*`` counters proving each backend served
+    the launches itself: batched launches for ``supports_batched``
+    backends, per-member launches otherwise.  Unavailable backends
+    (``cupy`` without the package) are recorded under ``skipped`` with
+    their reason — never an error.
+    """
+    from ..backend import available_backends, backend_scope, make_backend
+
+    if suite is None:
+        suite = [BATCHED_SUITE[0], BATCHED_SUITE[2]] if quick else BATCHED_SUITE
+    modes: Dict[str, Dict[str, Any]] = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    skipped: List[Dict[str, str]] = []
+    batched_capable: Dict[str, bool] = {}
+    for name, _description in available_backends():
+        probe = make_backend(name)
+        if not probe.available():
+            skipped.append(
+                {"name": name, "reason": probe.unavailable_reason() or ""}
+            )
+            continue
+        batched_capable[name] = probe.supports_batched
+        clear_all_caches()
+        with backend_scope(name):
+            mode = _run_mode(
+                ScenarioFarm(workers=1, warmup=False, capture_obs=True), suite
+            )
+        totals = farm_merged_metrics(mode["results"])["totals"]
+        counters[name] = {
+            counter: _counter_total(totals, f"exec.backend_{counter}")
+            for counter in (
+                "launches", "batched_launches", "batched_members", "h2d", "d2h"
+            )
+        }
+        modes[name] = mode
+    digests = {name: mode["digest"] for name, mode in modes.items()}
+    if len(set(digests.values())) != 1:
+        raise BenchDigestError(
+            "execution backends disagree on simulation results: "
+            + ", ".join(f"{k}={v[:12]}" for k, v in digests.items())
+        )
+    for name, counts in counters.items():
+        served = (
+            counts["batched_launches"] if batched_capable[name]
+            else counts["launches"]
+        )
+        if served <= 0:
+            kind = "batched" if batched_capable[name] else "per-member"
+            raise BenchBackendError(
+                f"backend {name!r} served zero {kind} launches — the "
+                f"functional suite never exercised it"
+            )
+    return {
+        "jobs": [job.label for job in suite],
+        "modes": {
+            name: {k: v for k, v in mode.items() if k != "results"}
+            for name, mode in modes.items()
+        },
+        "counters": counters,
+        "skipped": skipped,
+        "identical_results": True,
+        "digest": next(iter(digests.values())),
+    }
+
+
 def _timing_section(
     suite: Sequence[FarmJob], reference_digest: str
 ) -> Dict[str, Any]:
@@ -768,6 +856,11 @@ def run_bench(
     overhead guard is only meaningful against a like-for-like baseline,
     so it is skipped for non-default stages.
 
+    Every run also records the execution-backend section
+    (:func:`_backend_section`) under ``report["backend"]``: the
+    functional suite once per available registered backend, digest-equal
+    across all of them.
+
     ``shard=True`` (the default) appends the domain-sharding section
     (:func:`_shard_section`): the ``sharded`` (in-process domain
     scheduler), ``sharded_merge`` (partitioned exact-merge event loop)
@@ -858,6 +951,7 @@ def run_bench(
         }
     with _cache.disk_scope(False):
         report["timing"] = _timing_section(suite, cold_mode["digest"])
+        report["backend"] = _backend_section(quick=quick)
     if shard:
         # Quick (CI smoke) runs record the section but skip the speedup
         # bounds: the small smoke scenario's margin is noise-sized.
@@ -945,6 +1039,24 @@ def render_report(report: Dict[str, Any]) -> str:
             f"{t_counts['launches']} launches in {t_counts['batches']} "
             f"batches, {t_counts['profile_reuse']} profile reuses; "
             f"digests identical: {timing['identical_results']}"
+        )
+    backend_section = report.get("backend")
+    if backend_section:
+        for name, mode in backend_section["modes"].items():
+            counts = backend_section["counters"][name]
+            lines.append(
+                f"  backend:{name:<16} {mode['wall_s']:8.2f} s "
+                f"({counts['launches']} launches, "
+                f"{counts['batched_launches']} batched covering "
+                f"{counts['batched_members']} members)"
+            )
+        for skip in backend_section["skipped"]:
+            lines.append(
+                f"  backend:{skip['name']:<16} skipped: {skip['reason']}"
+            )
+        lines.append(
+            f"backend digests identical: "
+            f"{backend_section['identical_results']}"
         )
     batched = report.get("batched_execution")
     if batched:

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 # trace and metrics stamps are byte-identical to farm job identities
 # (one source of truth); re-exported here for backward compatibility.
 from .. import cache as _cache
+from ..backend.registry import default_backend_name, set_default_backend
 from ..caching import caches_enabled
 from ..obs import capture as _obs_capture
 from ..obs import metrics as _obs_metrics
@@ -256,6 +257,7 @@ def _init_worker(
     disk_config: Optional[Dict[str, Any]] = None,
     sample_interval_ms: Optional[float] = None,
     pool_jobs: Optional[Sequence[FarmJob]] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Pool initializer: disk-cache config, optional warm-up, capture.
 
@@ -265,12 +267,18 @@ def _init_worker(
     copy parent state.  Warming runs after the store is configured —
     warm-up compiles then populate/hit the shared disk tier too.
     ``pool_jobs`` is the persistent-pool static job list: registering it
-    here means each round's submissions are plain integers.
+    here means each round's submissions are plain integers.  ``backend``
+    is the parent's *resolved* execution-backend default, so jobs that
+    leave the backend implicit select the same backend in workers as in
+    serial mode — a ``backend_scope(...)`` around ``map()`` applies
+    inside the pool too.
     """
     if disk_config is not None:
         _cache.configure(
             root=disk_config["root"], enabled=disk_config["enabled"]
         )
+    if backend is not None:
+        set_default_backend(backend)
     if warm:
         warm_worker()
     if capture_obs:
@@ -365,6 +373,7 @@ class ScenarioFarm:
             disk_config,
             self.sample_interval_ms,
             list(pool_jobs) if pool_jobs is not None else None,
+            default_backend_name(),
         )
 
     def _map_persistent(
@@ -377,7 +386,10 @@ class ScenarioFarm:
         instead of the full job descriptions.  A changed job list or a
         larger worker requirement rebuilds the pool.
         """
-        keys = tuple(job.key for job in jobs)
+        # The effective backend rides in the rebuild key: workers fix
+        # their default at initialization, so a parent-side change (e.g.
+        # a new backend_scope) must fork a fresh pool.
+        keys = (default_backend_name(), *(job.key for job in jobs))
         size = min(self.workers, len(jobs))
         if (
             self._pool is None

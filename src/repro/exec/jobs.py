@@ -70,16 +70,20 @@ def scenario_summary(
     policy: Optional[str] = None,
     placement: Optional[str] = None,
     shards: Optional[object] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One SigmaVP route for a catalogued app, summarized JSON-ably.
 
-    ``functional=True`` additionally executes the registered numpy
+    ``functional=True`` additionally executes the registered functional
     kernels (the bench's batched-execution proof point uses this); the
     default stays timing-only.  ``policy``/``placement`` name registered
     scheduling stages (``repro policies`` lists them).  ``shards``
     selects the partitioned in-process event loop (digest-identical to
-    serial by construction).  All are defaulted kwargs, so they leave
-    the config-hash keys of all existing jobs untouched.
+    serial by construction).  ``backend`` names a registered execution
+    backend (``repro backends`` lists them; digest-interchangeable by
+    contract).  All are defaulted kwargs, so they leave the config-hash
+    keys of all existing jobs untouched — an explicit ``backend`` enters
+    the job key, distinguishing cached results per backend.
     """
     from ..core.scenarios import run_sigma_vp
 
@@ -95,6 +99,7 @@ def scenario_summary(
         policy=policy,
         placement=placement,
         shards=shards,
+        backend=backend,
     )
     return result.summary()
 
@@ -171,6 +176,7 @@ def phase_point(
     transport: str = "shared-memory",
     policy: Optional[str] = None,
     placement: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Total ms for a synthetic phase-loop fleet (scaling/ablation benches)."""
     from ..core.framework import SigmaVP
@@ -186,7 +192,7 @@ def phase_point(
         interleaving=interleaving,
         coalescing=coalescing,
         transport=resolve_transport(transport),
-        sched=SchedulerConfig.from_names(policy, placement),
+        sched=SchedulerConfig.from_names(policy, placement, backend=backend),
     )
     return framework.run_workload(spec)
 
@@ -250,6 +256,7 @@ def fig10a_point(
     functional: bool = False,
     policy: Optional[str] = None,
     placement: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Fig. 10(a): total ms at one coalescing degree (1 = coalescing off)."""
     from ..core.scenarios import run_sigma_vp
@@ -269,19 +276,27 @@ def fig10a_point(
         functional=functional,
         policy=policy,
         placement=placement,
+        backend=backend,
     ).total_ms
 
 
-def fig11_point(app: str, n_vps: int = 8, functional: bool = False) -> Dict[str, Any]:
+def fig11_point(
+    app: str,
+    n_vps: int = 8,
+    functional: bool = False,
+    backend: Optional[str] = None,
+) -> Dict[str, Any]:
     """One Fig. 11 application: emulation time plus SigmaVP speedups."""
     from ..core.scenarios import run_emulation, run_sigma_vp
 
     spec = get_workload(app)
-    emul = run_emulation(spec, n_instances=n_vps).total_ms
+    emul = run_emulation(spec, n_instances=n_vps, backend=backend).total_ms
     base = run_sigma_vp(spec, n_vps=n_vps, interleaving=False,
-                        coalescing=False, functional=functional).total_ms
+                        coalescing=False, functional=functional,
+                        backend=backend).total_ms
     opt = run_sigma_vp(spec, n_vps=n_vps, interleaving=True,
-                       coalescing=True, functional=functional).total_ms
+                       coalescing=True, functional=functional,
+                       backend=backend).total_ms
     return {
         "app": app,
         "emulation_ms": emul,

@@ -10,10 +10,9 @@ report, which the time/power estimation layer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
+from ..backend.registry import default_backend
 from ..kernels.compiler import CompiledKernel, KernelCompiler
 from ..kernels.ir import KernelIR
 from ..kernels.launch import LaunchConfig
@@ -23,6 +22,11 @@ from .engines import ComputeEngine, CopyEngine
 from .memory import DeviceBuffer, DeviceMemoryAllocator
 from .stream import GPUStream
 from .timing import ExecutionProfile, KernelTimingModel
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..backend.api import ExecutionBackend
 
 #: Default device memory capacity: 2 GiB, matching the Quadro 4000 board.
 DEFAULT_MEMORY_BYTES = 2 * 1024**3
@@ -49,12 +53,16 @@ class HostGPU:
         memory_bytes: int = DEFAULT_MEMORY_BYTES,
         compiler: Optional[KernelCompiler] = None,
         index: int = 0,
+        backend: Optional["ExecutionBackend"] = None,
     ):
         self.env = env
         self.arch = arch
         self.index = index
         self.timing = KernelTimingModel(arch)
-        self.memory = DeviceMemoryAllocator(memory_bytes)
+        # All functional data movement and allocation accounting routes
+        # through the execution backend (process default when standalone).
+        self.backend = backend if backend is not None else default_backend()
+        self.memory = DeviceMemoryAllocator(memory_bytes, backend=self.backend)
         self.compiler = compiler or KernelCompiler()
         # Fermi-class Quadro boards advertise dual copy engines: host-to-
         # device and device-to-host transfers overlap with each other and
@@ -129,12 +137,11 @@ class HostGPU:
 
         def apply() -> None:
             if host_data is not None:
-                # Read-only view, not a defensive copy: submitted arrays
-                # are never mutated in place, and the cleared writeable
-                # flag turns any violation into a loud error.
-                view = np.asarray(host_data).view()
-                view.flags.writeable = False
-                buffer.payload = view
+                # Zero-copy backends return a read-only view, not a
+                # defensive copy: submitted arrays are never mutated in
+                # place, and the cleared writeable flag turns any
+                # violation into a loud error.
+                buffer.payload = self.backend.h2d(host_data)
 
         return stream.enqueue(
             self.h2d_engine,
@@ -158,7 +165,7 @@ class HostGPU:
 
         def apply() -> None:
             if sink is not None:
-                sink(buffer.payload)
+                sink(self.backend.d2h(buffer.payload))
 
         return stream.enqueue(
             self.d2h_engine,

@@ -14,7 +14,10 @@ examples/tests can check numerical results end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from ..backend.api import ExecutionBackend
 
 
 class OutOfDeviceMemory(Exception):
@@ -30,6 +33,9 @@ class DeviceBuffer:
     owner: str = ""
     payload: Any = None
     freed: bool = False
+    #: Token from the execution backend's allocation ledger, when the
+    #: allocator is backend-attached.
+    backend_token: Optional[int] = None
 
     @property
     def end(self) -> int:
@@ -45,10 +51,17 @@ class DeviceBuffer:
 class DeviceMemoryAllocator:
     """First-fit allocator over a flat device address space."""
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        backend: Optional["ExecutionBackend"] = None,
+    ):
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity = capacity_bytes
+        #: Execution backend mirroring allocations (``exec.backend_*``
+        #: accounting); the address-space bookkeeping stays here.
+        self.backend = backend
         self._buffers: List[DeviceBuffer] = []  # sorted by address
 
     def __len__(self) -> int:
@@ -87,6 +100,8 @@ class DeviceMemoryAllocator:
         for address, gap in self._gaps():
             if gap >= size:
                 buffer = DeviceBuffer(address=address, size=size, owner=owner)
+                if self.backend is not None:
+                    buffer.backend_token = self.backend.allocate(size, owner=owner)
                 self._insert(buffer)
                 return buffer
         raise OutOfDeviceMemory(
@@ -115,6 +130,10 @@ class DeviceMemoryAllocator:
                 cursor = address
                 for size in sizes:
                     buffer = DeviceBuffer(address=cursor, size=size, owner=owner)
+                    if self.backend is not None:
+                        buffer.backend_token = self.backend.allocate(
+                            size, owner=owner
+                        )
                     self._insert(buffer)
                     buffers.append(buffer)
                     cursor += size
@@ -132,6 +151,9 @@ class DeviceMemoryAllocator:
             raise RuntimeError(f"{buffer!r} was not allocated here") from None
         buffer.freed = True
         buffer.payload = None
+        if self.backend is not None and buffer.backend_token is not None:
+            self.backend.free(buffer.backend_token)
+            buffer.backend_token = None
 
     def are_contiguous(self, buffers: Sequence[DeviceBuffer]) -> bool:
         """True if the buffers tile one gap-free address range, in order."""

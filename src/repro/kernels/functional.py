@@ -133,37 +133,16 @@ def run_batched(
 ) -> Optional[List[np.ndarray]]:
     """Execute N member calls as ONE call over ``(N, ...)`` stacked inputs.
 
-    Returns the per-member output rows (views into the one stacked
-    result), or ``None`` when the preconditions for a well-defined batch
-    do not hold — mismatched argument counts, non-uniform shapes or
-    dtypes across members, or an implementation that does not preserve
-    the leading axis.  Callers treat ``None`` as "fall back to per-VP
-    execution", so this helper never guesses.
+    Back-compat shim: the stacking logic now lives with the execution
+    backends (:func:`repro.backend.numpy_backend.stacked_rows`), where
+    the dispatcher reaches it through ``launch_batched``.  Returns the
+    per-member output rows, or ``None`` when the preconditions for a
+    well-defined batch do not hold — callers treat ``None`` as "fall
+    back to per-VP execution".
     """
-    n_members = len(inputs_list)
-    if n_members == 0:
-        return None
-    first = inputs_list[0]
-    n_args = len(first)
-    if any(len(inputs) != n_args for inputs in inputs_list):
-        return None
-    if n_args == 0:
-        return None
-    for position in range(n_args):
-        arrays = [inputs[position] for inputs in inputs_list]
-        head = arrays[0]
-        if not all(isinstance(a, np.ndarray) for a in arrays):
-            return None
-        if any(a.shape != head.shape or a.dtype != head.dtype for a in arrays):
-            return None
-    stacked = [
-        np.stack([inputs[position] for inputs in inputs_list])
-        for position in range(n_args)
-    ]
-    out = fn(*stacked, **params)
-    if not isinstance(out, np.ndarray) or out.ndim < 1 or out.shape[0] != n_members:
-        return None
-    return [out[i] for i in range(n_members)]
+    from ..backend.numpy_backend import stacked_rows
+
+    return stacked_rows(fn, [tuple(inputs) for inputs in inputs_list], dict(params))
 
 
 # ---------------------------------------------------------------------------

@@ -24,10 +24,10 @@ All API methods are generators: application code drives them with
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
-import numpy as np
-
+from ..backend.api import ExecutionBackend
+from ..backend.registry import default_backend
 from ..core.handles import HandleTable
 from ..core.ipc import IPCManager
 from ..core.jobs import Job, JobKind
@@ -42,6 +42,9 @@ from .driver import VirtualGPUDriver
 from .emulation import GPUEmulator
 from .platform import VirtualPlatform
 from .vgpu import VirtualEmbeddedGPU
+
+if TYPE_CHECKING:
+    import numpy as np
 
 #: Host-side CUDA call overhead for the native backend, in host CPU ops
 #: (a ~5 microsecond driver call on the Xeon).
@@ -96,18 +99,50 @@ def event_elapsed_ms(start: GpuEvent, end: GpuEvent) -> float:
     return end.timestamp_ms - start.timestamp_ms
 
 
-class CudaRuntime:
-    """The intercepting user library applications link against."""
+class InterceptingRuntime:
+    """Shared count-and-delegate plumbing for the API facades.
+
+    The CUDA- and OpenCL-flavoured runtimes intercept every call the
+    same way: bump a per-call counter, then delegate to the interception
+    backend.  The memcpy pair — the wrappers that used to be duplicated
+    nearly verbatim between the two facades — lives here once, so both
+    APIs route host<->device data movement through the same backend
+    seam.  Subclasses expose the counts dict under their API's
+    traditional name (``calls`` / ``commands``).
+    """
 
     def __init__(self, backend: "CudaBackend"):
         self.backend = backend
-        self.calls: Dict[str, int] = {}
+        self._call_counts: Dict[str, int] = {}
 
     def __repr__(self) -> str:
-        return f"<CudaRuntime backend={type(self.backend).__name__}>"
+        return f"<{type(self).__name__} backend={type(self.backend).__name__}>"
 
     def _count(self, name: str) -> None:
-        self.calls[name] = self.calls.get(name, 0) + 1
+        self._call_counts[name] = self._call_counts.get(name, 0) + 1
+
+    def _delegate_h2d(self, counter: str, handle: str, data: Any, sync: bool):
+        """Count one host-to-device copy and route it to the backend."""
+        self._count(counter)
+        yield from self.backend.memcpy_h2d(handle, data, sync)
+
+    def _delegate_d2h(
+        self, counter: str, handle: str, nbytes: Optional[int], sync: bool
+    ):
+        """Count one device-to-host copy; returns the result holder."""
+        self._count(counter)
+        result = yield from self.backend.memcpy_d2h(handle, nbytes, sync)
+        return result
+
+
+class CudaRuntime(InterceptingRuntime):
+    """The intercepting user library applications link against."""
+
+    def __init__(self, backend: "CudaBackend"):
+        super().__init__(backend)
+        #: Per-API-call counts under the CUDA-side name (same dict the
+        #: mixin maintains).
+        self.calls = self._call_counts
 
     def malloc(self, nbytes: int):
         """cudaMalloc: returns an opaque device handle."""
@@ -120,15 +155,13 @@ class CudaRuntime:
         self._count("free")
         yield from self.backend.free(handle)
 
-    def memcpy_h2d(self, handle: str, data: np.ndarray, sync: bool = True):
+    def memcpy_h2d(self, handle: str, data: "np.ndarray", sync: bool = True):
         """cudaMemcpy(..., cudaMemcpyHostToDevice) or its Async variant."""
-        self._count("memcpy_h2d")
-        yield from self.backend.memcpy_h2d(handle, data, sync)
+        yield from self._delegate_h2d("memcpy_h2d", handle, data, sync)
 
     def memcpy_d2h(self, handle: str, nbytes: Optional[int] = None, sync: bool = True):
         """cudaMemcpy(..., cudaMemcpyDeviceToHost); returns the result."""
-        self._count("memcpy_d2h")
-        result = yield from self.backend.memcpy_d2h(handle, nbytes, sync)
+        result = yield from self._delegate_d2h("memcpy_d2h", handle, nbytes, sync)
         return result
 
     def launch_kernel(
@@ -192,11 +225,17 @@ class SigmaVPBackend(CudaBackend):
         vp: VirtualPlatform,
         ipc: IPCManager,
         handles: HandleTable,
+        exec_backend: Optional[ExecutionBackend] = None,
     ):
         self.env = env
         self.vp = vp
         self.ipc = ipc
         self.handles = handles
+        # Guest-side host-data canonicalization (transfer sizing) uses
+        # the same execution backend the host dispatcher runs on.
+        self.exec_backend = (
+            exec_backend if exec_backend is not None else default_backend()
+        )
         self.vgpu = VirtualEmbeddedGPU(vp, ipc)
         self.driver = VirtualGPUDriver(vp, self.vgpu)
         self._outstanding: List[Job] = []
@@ -227,8 +266,8 @@ class SigmaVPBackend(CudaBackend):
         yield from self.driver.submit(job)
         self._outstanding.append(job)
 
-    def memcpy_h2d(self, handle: str, data: np.ndarray, sync: bool):
-        data = np.asarray(data)
+    def memcpy_h2d(self, handle: str, data: "np.ndarray", sync: bool):
+        data = self.exec_backend.asarray(data)
         job = self._job(
             JobKind.COPY_H2D,
             sync=sync,
@@ -316,12 +355,16 @@ class EmulationBackend(CudaBackend):
         platform: VirtualPlatform,
         emulator: Optional[GPUEmulator] = None,
         registry: FunctionalRegistry = REGISTRY,
+        exec_backend: Optional[ExecutionBackend] = None,
     ):
         self.env = env
         self.platform = platform
         self.emulator = emulator or GPUEmulator(platform.cpu)
         self.registry = registry
-        self._arrays: Dict[str, Optional[np.ndarray]] = {}
+        self.exec_backend = (
+            exec_backend if exec_backend is not None else default_backend(registry)
+        )
+        self._arrays: Dict[str, Optional["np.ndarray"]] = {}
         self._counter = 0
 
     def malloc(self, nbytes: int):
@@ -337,20 +380,19 @@ class EmulationBackend(CudaBackend):
         yield from self.platform.execute_ops(GUEST_DRIVER_CALL_OPS / 10.0)
         self._arrays.pop(handle, None)
 
-    def memcpy_h2d(self, handle: str, data: np.ndarray, sync: bool):
-        data = np.asarray(data)
+    def memcpy_h2d(self, handle: str, data: "np.ndarray", sync: bool):
+        data = self.exec_backend.asarray(data)
         yield from self.platform.execute_ms(
             self.platform.cpu.copy_time_ms(int(data.nbytes))
         )
         self._require(handle)
         # Copy-free device "transfer": applications never mutate a
         # submitted array in place (kernels rebind, they do not write
-        # through), so a read-only view is bit-identical to the old
-        # defensive copy — per-launch allocation eliminated, and the
-        # cleared writeable flag makes any violation loud.
-        view = data.view()
-        view.flags.writeable = False
-        self._arrays[handle] = view
+        # through), so the zero-copy backend's read-only view is
+        # bit-identical to the old defensive copy — per-launch
+        # allocation eliminated, and the cleared writeable flag makes
+        # any violation loud.
+        self._arrays[handle] = self.exec_backend.h2d(data)
 
     def memcpy_d2h(self, handle: str, nbytes: Optional[int], sync: bool):
         array = self._arrays.get(handle)
@@ -359,16 +401,17 @@ class EmulationBackend(CudaBackend):
         )
         yield from self.platform.execute_ms(self.platform.cpu.copy_time_ms(size))
         result = AsyncResult()
-        result._set(self._arrays[handle])
+        result._set(self.exec_backend.d2h(self._arrays[handle]))
         return result
 
     def launch_kernel(self, kernel, launch, args, out, params, sync):
         cost = self.emulator.kernel_cost(kernel, launch)
         yield from self.platform.execute_ms(cost.total_ms)
-        fn = self.registry.get(kernel.signature)
-        if fn is not None and out is not None:
+        if out is not None:
             inputs = [self._arrays[h] for h in args]
-            self._arrays[out] = fn(*inputs, **params)
+            result = self.exec_backend.launch(kernel.signature, inputs, params)
+            if result is not None:
+                self._arrays[out] = result
 
     def synchronize(self):
         # The emulator is synchronous: nothing is ever outstanding.
@@ -402,12 +445,16 @@ class NativeGPUBackend(CudaBackend):
         host: VirtualPlatform,
         stream: Optional[GPUStream] = None,
         registry: FunctionalRegistry = REGISTRY,
+        exec_backend: Optional[ExecutionBackend] = None,
     ):
         self.env = env
         self.gpu = gpu
         self.host = host
         self.stream = stream or gpu.create_stream(f"native/{host.name}")
         self.registry = registry
+        self.exec_backend = (
+            exec_backend if exec_backend is not None else default_backend(registry)
+        )
         self._buffers: Dict[str, Any] = {}
         self._counter = 0
 
@@ -422,9 +469,11 @@ class NativeGPUBackend(CudaBackend):
         yield from self.host.execute_ops(NATIVE_CALL_OPS)
         self.gpu.free(self._buffers.pop(handle))
 
-    def memcpy_h2d(self, handle: str, data: np.ndarray, sync: bool):
+    def memcpy_h2d(self, handle: str, data: "np.ndarray", sync: bool):
         yield from self.host.execute_ops(NATIVE_CALL_OPS)
-        event = self.gpu.memcpy_h2d(self.stream, self._buffers[handle], np.asarray(data))
+        event = self.gpu.memcpy_h2d(
+            self.stream, self._buffers[handle], self.exec_backend.asarray(data)
+        )
         if sync:
             yield event
 
@@ -440,13 +489,14 @@ class NativeGPUBackend(CudaBackend):
 
     def launch_kernel(self, kernel, launch, args, out, params, sync):
         yield from self.host.execute_ops(NATIVE_CALL_OPS)
-        fn = self.registry.get(kernel.signature)
 
         def apply() -> None:
-            if fn is None or out is None:
+            if out is None:
                 return
             inputs = [self._buffers[h].payload for h in args]
-            self._buffers[out].payload = fn(*inputs, **params)
+            result = self.exec_backend.launch(kernel.signature, inputs, params)
+            if result is not None:
+                self._buffers[out].payload = result
 
         event = self.gpu.launch_kernel(self.stream, kernel, launch, apply=apply)
         if sync:

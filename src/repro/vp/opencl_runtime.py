@@ -22,27 +22,29 @@ Methods are generators, like the CUDA runtime's: drive them with
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
 from ..kernels.ir import KernelIR, ceil_div
 from ..kernels.launch import LaunchConfig
-from .cuda_runtime import AsyncResult, CudaBackend
+from .cuda_runtime import AsyncResult, CudaBackend, InterceptingRuntime
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
-class OpenCLRuntime:
-    """OpenCL-style command-queue API over any interception backend."""
+class OpenCLRuntime(InterceptingRuntime):
+    """OpenCL-style command-queue API over any interception backend.
+
+    The count-and-delegate memcpy plumbing is shared with the CUDA
+    facade via :class:`~repro.vp.cuda_runtime.InterceptingRuntime` —
+    both APIs route through the same backend seam.
+    """
 
     def __init__(self, backend: CudaBackend):
-        self.backend = backend
-        self.commands: Dict[str, int] = {}
-
-    def __repr__(self) -> str:
-        return f"<OpenCLRuntime backend={type(self.backend).__name__}>"
-
-    def _count(self, name: str) -> None:
-        self.commands[name] = self.commands.get(name, 0) + 1
+        super().__init__(backend)
+        #: Per-command counts under the OpenCL-side name (same dict the
+        #: mixin maintains).
+        self.commands = self._call_counts
 
     # -- memory objects ---------------------------------------------------
 
@@ -59,17 +61,17 @@ class OpenCLRuntime:
 
     # -- command queue ------------------------------------------------------
 
-    def enqueue_write_buffer(self, handle: str, data: np.ndarray,
+    def enqueue_write_buffer(self, handle: str, data: "np.ndarray",
                              blocking: bool = True):
         """clEnqueueWriteBuffer."""
-        self._count("clEnqueueWriteBuffer")
-        yield from self.backend.memcpy_h2d(handle, data, blocking)
+        yield from self._delegate_h2d("clEnqueueWriteBuffer", handle, data, blocking)
 
     def enqueue_read_buffer(self, handle: str, nbytes: Optional[int] = None,
                             blocking: bool = True):
         """clEnqueueReadBuffer: returns the result holder."""
-        self._count("clEnqueueReadBuffer")
-        result = yield from self.backend.memcpy_d2h(handle, nbytes, blocking)
+        result = yield from self._delegate_d2h(
+            "clEnqueueReadBuffer", handle, nbytes, blocking
+        )
         return result
 
     def enqueue_nd_range_kernel(
