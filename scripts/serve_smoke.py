@@ -1,0 +1,103 @@
+"""End-to-end smoke for the ``repro serve`` daemon.
+
+Boots a real daemon process (``python -m repro serve``), submits jobs
+from two tenants at different QoS tiers over the socket, and asserts:
+
+* every job completes and its digest is bit-identical to the direct
+  ``repro.api.run`` path in *this* process (the service adds routing,
+  never a different execution);
+* per-tenant listing sees exactly that tenant's jobs;
+* a socket-initiated shutdown exits the daemon cleanly (exit code 0,
+  socket file removed).
+
+Usage: python scripts/serve_smoke.py [output.json]
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
+
+from repro.api import RunRequest, run  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+#: Two tenants, two QoS tiers (lower = more latency-sensitive).
+SUBMISSIONS = [
+    RunRequest(app="vectorAdd", n_vps=2, scale_elements=256,
+               scale_iterations=2, tenant="interactive", qos=0),
+    RunRequest(app="mergeSort", n_vps=2, scale_elements=256,
+               scale_iterations=2, tenant="batch", qos=2),
+    RunRequest(app="vectorAdd", n_vps=4, scale_elements=256,
+               scale_iterations=2, tenant="batch", qos=2),
+]
+
+
+def main() -> int:
+    state_dir = Path(tempfile.mkdtemp(prefix="reprosmoke-", dir="/tmp"))
+    socket_path = state_dir / "serve.sock"
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", str(socket_path), "--state-dir", str(state_dir),
+         "--queue-policy", "priority-deadline", "--no-warm"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(
+                 p for p in (str(_SRC), os.environ.get("PYTHONPATH"))
+                 if p
+             )},
+    )
+    try:
+        deadline = time.time() + 30
+        while not socket_path.exists():
+            if daemon.poll() is not None or time.time() > deadline:
+                print(daemon.stdout.read() if daemon.stdout else "")
+                print("FAIL: daemon never bound its socket")
+                return 1
+            time.sleep(0.05)
+
+        report = {"jobs": [], "policy": None}
+        with ServeClient.connect(socket_path) as client:
+            report["policy"] = client.ping()["policy"]
+            job_ids = [
+                client.submit(request)["job_id"] for request in SUBMISSIONS
+            ]
+            for job_id, request in zip(job_ids, SUBMISSIONS):
+                final = client.wait(job_id, timeout=120.0)
+                local = run(request)
+                assert final["state"] == "done", final
+                assert final["digest"] == local.digest, (
+                    f"{job_id}: daemon digest {final['digest'][:12]} != "
+                    f"direct {local.digest[:12]}"
+                )
+                report["jobs"].append({
+                    "job_id": job_id, "tenant": request.tenant,
+                    "qos": request.qos, "digest": final["digest"],
+                })
+            assert len(client.jobs(tenant="batch")) == 2
+            assert len(client.jobs(tenant="interactive")) == 1
+            client.shutdown()
+        daemon.wait(timeout=30)
+        assert daemon.returncode == 0, (
+            f"daemon exited {daemon.returncode}"
+        )
+        assert not socket_path.exists(), "socket not removed on shutdown"
+        if len(sys.argv) > 1:
+            Path(sys.argv[1]).write_text(json.dumps(report, indent=2))
+        print(f"serve smoke OK: {len(report['jobs'])} jobs across 2 tenants "
+              f"under {report['policy']}, digests identical to direct path, "
+              f"clean shutdown")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

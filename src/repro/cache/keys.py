@@ -42,7 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 #: Bump when a cached computation's *formulas* change (timing model,
 #: compiler lowering, job wire format): old entries then miss cleanly.
-CACHE_VERSION = "1"
+#: 1 -> 2: merged kernels gained the in-flight-H2D dependency, which
+#: shifts coalesced-scenario timings.
+CACHE_VERSION = "2"
 
 #: Field separator inside key encodings (never appears in float reprs).
 _SEP = "\x1f"

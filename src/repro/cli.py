@@ -19,6 +19,12 @@ Commands:
                                    accounting table (``account.*``)
 * ``trajectory``                 — build/gate the BENCH_*.json
                                    performance trajectory
+* ``serve [options]``            — run the multi-tenant simulation
+                                   daemon on a local Unix socket
+                                   (docs/SERVICE.md)
+* ``submit APP [options]``       — submit one scenario to a running
+                                   daemon and (by default) wait for
+                                   its result
 * ``policies``                   — list registered scheduling policies
                                    and placement strategies
 * ``backends``                   — list registered execution backends
@@ -57,8 +63,6 @@ from .analysis import (
     render_table1,
 )
 from .analysis.timeline import collect_timeline, render_gantt
-from .core.framework import SigmaVP
-from .core.ipc import SHARED_MEMORY, SOCKET
 from .gpu.arch import CATALOG, GRID_K520, QUADRO_4000, TEGRA_K1
 from .workloads import SUITE, get_workload
 
@@ -269,6 +273,54 @@ def build_parser() -> argparse.ArgumentParser:
              "(busy/wait, coalesce share, fairness, deadlines)",
     ))
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation daemon on a local Unix "
+             "socket (submit with `repro submit`; see docs/SERVICE.md)",
+    )
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default: "
+                            "$REPRO_SERVE_SOCKET or "
+                            "<cache-root>/serve/serve.sock)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="journal directory (default: <cache-root>/serve)")
+    serve.add_argument("--max-depth", type=_positive_int, default=None,
+                       help="queue bound; submissions past it are "
+                            "rejected with 'queue-full' (default 64)")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       help="per-tenant queued+running cap, 0 = "
+                            "unlimited (default 16)")
+    serve.add_argument("--queue-policy", default="fair-share",
+                       metavar="NAME",
+                       help="tenant scheduling policy (any `repro "
+                            "policies` name; default fair-share)")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="concurrent worker processes (default 1)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-fork kernel compilation warm-up")
+
+    submit = scenario_options(sub.add_parser(
+        "submit",
+        help="submit one scenario to a running `repro serve` daemon",
+    ))
+    submit.add_argument("--functional", action="store_true",
+                        help="execute kernels numerically (numpy)")
+    submit.add_argument("--shards", type=_shards_value, default=None,
+                        metavar="N|per-gpu|per-vp-group",
+                        help="partition the event loop into "
+                             "time-decoupled simulation domains")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant to account this job to")
+    submit.add_argument("--qos", type=int, default=None,
+                        help="QoS tier for priority-deadline queue "
+                             "scheduling (0 = most urgent)")
+    submit.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon socket path (default: "
+                             "$REPRO_SERVE_SOCKET or the serve default)")
+    submit.add_argument("--detach", action="store_true",
+                        help="return after the job is accepted instead "
+                             "of waiting for its result")
+
     trajectory = sub.add_parser(
         "trajectory",
         help="build the BENCH_*.json performance trajectory and apply "
@@ -327,48 +379,42 @@ def _cmd_list() -> None:
     ))
 
 
-def _sched_kwargs(args: argparse.Namespace) -> dict:
-    """Non-default --policy/--placement/--backend values as job kwargs.
+def _scenario_request(args: argparse.Namespace, n_vps: Optional[int] = None):
+    """The :class:`~repro.api.RunRequest` a CLI scenario describes.
 
-    Only explicitly requested values enter the kwargs, so default runs
-    keep their pre-existing config-hash keys.  An explicit ``--backend``
-    *does* enter the job key (it names how the run was produced), even
-    though results are digest-identical across backends by contract.
+    One construction shared by ``run``, ``trace``, ``metrics``,
+    ``account``, and ``submit``; the request's non-default-only kwargs
+    rule keeps every default invocation on its pre-existing config-hash
+    key.  An explicit ``--backend`` *does* enter the job key (it names
+    how the run was produced), even though results are digest-identical
+    across backends by contract.
     """
-    kwargs = {}
-    if getattr(args, "policy", None) is not None:
-        kwargs["policy"] = args.policy
-    if getattr(args, "placement", None) is not None:
-        kwargs["placement"] = args.placement
-    if getattr(args, "backend", None) is not None:
-        kwargs["backend"] = args.backend
-    return kwargs
+    from .api import RunRequest
+
+    return RunRequest(
+        app=args.app,
+        n_vps=n_vps if n_vps is not None else args.vps,
+        interleaving=not args.no_interleaving,
+        coalescing=not args.no_coalescing,
+        transport=args.transport,
+        n_host_gpus=args.gpus,
+        functional=getattr(args, "functional", False),
+        policy=getattr(args, "policy", None),
+        placement=getattr(args, "placement", None),
+        shards=getattr(args, "shards", None),
+        backend=getattr(args, "backend", None),
+        tenant=getattr(args, "tenant", None) or "default",
+        qos=getattr(args, "qos", None),
+    )
 
 
 def _cmd_run_sweep(args: argparse.Namespace, vps_list: List[int]) -> None:
     """Fan one app across several VP counts over the scenario farm."""
-    from .exec import FarmJob, ScenarioFarm
+    from .exec import ScenarioFarm
 
     farm = ScenarioFarm(workers=args.workers)
     results = farm.map([
-        FarmJob(
-            fn="repro.exec.jobs:scenario_summary",
-            kwargs={
-                "app": args.app,
-                "n_vps": n,
-                "interleaving": not args.no_interleaving,
-                "coalescing": not args.no_coalescing,
-                "transport": "shm" if args.transport == "shm" else "socket",
-                "n_host_gpus": args.gpus,
-                # Only non-default stages enter the kwargs, so default
-                # sweeps keep their pre-existing config-hash keys.
-                **_sched_kwargs(args),
-                **({"shards": args.shards}
-                   if getattr(args, "shards", None) is not None else {}),
-            },
-            label=f"{args.app}:{n}vps",
-        )
-        for n in vps_list
+        _scenario_request(args, n_vps=n).to_farm_job() for n in vps_list
     ])
     rows = []
     for result in results:
@@ -398,42 +444,12 @@ def _cmd_run(args: argparse.Namespace) -> None:
         _cmd_run_sweep(args, vps_list)
         return
     args.vps = vps_list[0]
-    spec = get_workload(args.app)
-    registry_kwargs = {}
-    if args.functional:
-        from .kernels.functional import REGISTRY
+    from .api import scenario
 
-        registry_kwargs["registry"] = REGISTRY
-    else:
-        from .kernels.functional import FunctionalRegistry
-
-        registry_kwargs["registry"] = FunctionalRegistry()
-    from .sched import SchedulerConfig
-
-    env = None
-    if args.shards is not None:
-        from .sim import ShardedEnvironment
-        from .sim.domains import scenario_plan
-
-        plan = scenario_plan(
-            args.shards, args.vps, args.gpus,
-            default_placement=args.placement in (None, "round-robin"),
-        )
-        if plan is not None:
-            env = ShardedEnvironment(plan)
-    framework = SigmaVP(
-        env=env,
-        transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
-        interleaving=not args.no_interleaving,
-        coalescing=not args.no_coalescing,
-        n_vps=args.vps,
-        n_host_gpus=args.gpus,
-        sched=SchedulerConfig.from_names(args.policy, args.placement,
-                                         backend=args.backend),
-        **registry_kwargs,
-    )
-    total = framework.run_workload(spec)
-    print(f"{spec.name}: {args.vps} VPs on {args.gpus} host GPU(s), "
+    result = scenario(_scenario_request(args))
+    framework = result.extras["framework"]
+    total = result.total_ms
+    print(f"{result.workload}: {args.vps} VPs on {args.gpus} host GPU(s), "
           f"interleaving={'on' if not args.no_interleaving else 'off'}, "
           f"coalescing={'on' if not args.no_coalescing else 'off'}, "
           f"policy={framework.dispatcher.policy.name}, "
@@ -549,35 +565,17 @@ def _cmd_estimate(args: argparse.Namespace) -> None:
           f"(static {power.static_w:.2f} + dynamic {power.dynamic_w:.2f})")
 
 
-def _scenario_job(args: argparse.Namespace):
-    """A FarmJob for one CLI-described scenario (shared by trace/metrics).
-
-    Routing through a :class:`FarmJob` gives the run the farm's
-    config-hash identity and deterministic seed for free, so exported
-    artifacts are stamped exactly like the equivalent farm job.
-    """
-    from .exec import FarmJob
-
-    return FarmJob(
-        fn="repro.exec.jobs:scenario_summary",
-        kwargs={
-            "app": args.app,
-            "n_vps": args.vps,
-            "interleaving": not args.no_interleaving,
-            "coalescing": not args.no_coalescing,
-            "transport": "shm" if args.transport == "shm" else "socket",
-            "n_host_gpus": args.gpus,
-            **_sched_kwargs(args),
-        },
-        label=f"{args.app}:{args.vps}vps",
-    )
-
-
 def _captured_scenario(args: argparse.Namespace):
-    """Run one scenario with capture on; returns (job, FarmResult)."""
+    """Run one scenario with capture on; returns (job, FarmResult).
+
+    Routing through the request's :class:`FarmJob` projection gives the
+    run the farm's config-hash identity and deterministic seed for
+    free, so exported artifacts are stamped exactly like the equivalent
+    farm job.
+    """
     from .exec import ScenarioFarm
 
-    job = _scenario_job(args)
+    job = _scenario_request(args).to_farm_job()
     result = ScenarioFarm(workers=1, warmup=False, capture_obs=True).map([job])[0]
     return job, result
 
@@ -635,25 +633,14 @@ def _cmd_metrics(args: argparse.Namespace) -> None:
 
 
 def _cmd_account(args: argparse.Namespace) -> None:
-    from .kernels.functional import FunctionalRegistry
+    from .api import scenario
     from .obs import render_accounts
-    from .sched import SchedulerConfig
 
-    spec = get_workload(args.app)
-    framework = SigmaVP(
-        transport=SHARED_MEMORY if args.transport == "shm" else SOCKET,
-        interleaving=not args.no_interleaving,
-        coalescing=not args.no_coalescing,
-        n_vps=args.vps,
-        n_host_gpus=args.gpus,
-        sched=SchedulerConfig.from_names(args.policy, args.placement,
-                                         backend=args.backend),
-        registry=FunctionalRegistry(),
-    )
-    total = framework.run_workload(spec)
-    print(f"{spec.name}: {args.vps} VPs on {args.gpus} host GPU(s), "
+    result = scenario(_scenario_request(args))
+    framework = result.extras["framework"]
+    print(f"{result.workload}: {args.vps} VPs on {args.gpus} host GPU(s), "
           f"policy={framework.dispatcher.policy.name}, "
-          f"total simulated time {total:.3f} ms")
+          f"total simulated time {result.total_ms:.3f} ms")
     print()
     print(render_accounts(framework))
 
@@ -732,6 +719,75 @@ def _cmd_backends() -> None:
     print()
     print("Select with: repro --backend NAME <command>, REPRO_BACKEND=NAME, "
           "or backend= in SchedulerConfig")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import ServeDaemon
+
+    kwargs = {}
+    if args.max_depth is not None:
+        kwargs["max_depth"] = args.max_depth
+    if args.tenant_quota is not None:
+        kwargs["tenant_quota"] = args.tenant_quota
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        state_dir=args.state_dir,
+        policy=args.queue_policy,
+        max_workers=args.workers,
+        warm=not args.no_warm,
+        **kwargs,
+    )
+    daemon.start()
+    print(f"repro serve: listening on {daemon.socket_path}")
+    print(f"  state dir:  {daemon.state_dir}")
+    print(f"  policy:     {daemon.queue.policy_name}, "
+          f"max depth {daemon.queue.max_depth}, "
+          f"tenant quota {daemon.queue.tenant_quota}, "
+          f"{daemon.max_workers} worker(s)")
+    recovery = daemon.recovery
+    if recovery["resumed"] or recovery["faulted"]:
+        print(f"  recovered:  {recovery['resumed']} job(s) requeued, "
+              f"{recovery['faulted']} faulted (mid-run at crash)")
+    try:
+        while daemon.running:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down (requeueing running jobs)")
+        daemon.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import JobState, ServeClient, ServeError
+
+    request = _scenario_request(args)
+    try:
+        with ServeClient.connect(args.socket) as client:
+            record = client.submit(request)
+            print(f"{record['job_id']}: {record['label']} submitted for "
+                  f"tenant {record['tenant']} "
+                  f"(config {record['config_hash']})")
+            if args.detach:
+                print(f"query with: repro.api.connect()"
+                      f".status({record['job_id']!r})")
+                return 0
+            record = client.wait(record["job_id"])
+    except ServeError as exc:
+        print(f"repro submit: error: {exc}", file=sys.stderr)
+        return 1
+    state = record["state"]
+    if state == JobState.DONE.value:
+        value = record["value"]
+        print(f"total simulated time: {value['total_ms']:.3f} ms")
+        print(f"digest: {record['digest']}")
+        return 0
+    error = record.get("error") or {}
+    print(f"{record['job_id']}: {state}"
+          + (f" [{error.get('code')}] {error.get('message')}" if error else ""),
+          file=sys.stderr)
+    return 1
 
 
 def _cmd_cache(action: str) -> None:
@@ -856,6 +912,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_policies()
     elif args.command == "backends":
         _cmd_backends()
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "submit":
+        return _cmd_submit(args)
     elif args.command == "cache":
         _cmd_cache(args.action)
     elif args.command == "validate":

@@ -109,6 +109,10 @@ class KernelCoalescer:
         #: Maps a VP name to its host-GPU index; wired by the framework
         #: on multi-GPU hosts so triples never merge across devices.
         self.device_of = device_of or (lambda vp: 0)
+        #: Maps a VP name to its currently executing job (or None); wired
+        #: by the dispatcher.  A merged kernel must wait out members'
+        #: in-flight transfers — see :meth:`_merge_batch`.
+        self.inflight_of = lambda vp: None
         #: GPUs indexed by device; extended by the framework.
         self.gpus = [gpu]
         self.handles = handles
@@ -322,10 +326,26 @@ class KernelCoalescer:
         kernel_members = [triple.kernel for triple in batch]
         merged_kernel = self._merged_kernel_job(group, seq, kernel_members)
         merged_kernel.device = device
+        depends_on = []
         if h2d_members and not h2d_merged:
             # Large input copies stay individual (and pipelined); the
             # merged kernel must still wait for all of them.
-            merged_kernel.depends_on = [j.completion for j in h2d_members]
+            depends_on.extend(j.completion for j in h2d_members)
+        for triple in batch:
+            # A member VP whose input copy is already *on an engine* has
+            # no queued H2D left, so its triple is a bare (kernel, d2h)
+            # pair — but the merged kernel still sweeps that VP's
+            # buffers and must not run before the transfer lands.  The
+            # merged job's fresh group vp bypasses the per-VP inflight
+            # admission check, so the ordering has to be an explicit
+            # dependency.  Only input copies matter: an in-flight D2H
+            # reads a buffer the relayout already snapshotted, so
+            # waiting on it would only serialize unrelated pipelining.
+            inflight = self.inflight_of(triple.vp)
+            if inflight is not None and inflight.kind is JobKind.COPY_H2D:
+                depends_on.append(inflight.completion)
+        if depends_on:
+            merged_kernel.depends_on = depends_on
         queue.replace(kernel_members, merged_kernel)
         merged.append(merged_kernel)
         seq += 1

@@ -151,6 +151,12 @@ class JobDispatcher:
         #: (members of merged jobs included) — the accounting source.
         self.completed_log: List[Job] = []
         self._inflight: Dict[str, Job] = {}
+        if coalescer is not None:
+            # The coalescer must see in-flight jobs: a merged kernel may
+            # not sweep a member VP's buffers while that VP's copy is
+            # still on an engine (its triple then has no queued H2D, so
+            # queue-level ordering alone cannot protect it).
+            coalescer.inflight_of = self.inflight_for
         self._wake: Event = env.event()
         self._process = env.process(self._run(), label="dispatcher:host/run")
 
@@ -165,6 +171,10 @@ class JobDispatcher:
     def device_index_for(self, vp: str) -> int:
         """The device a VP is bound to (placement strategy, first use)."""
         return self.pipeline.placer.device_for(vp, self.backlog)
+
+    def inflight_for(self, vp: str) -> Optional[Job]:
+        """The job a VP currently has executing on an engine, if any."""
+        return self._inflight.get(vp)
 
     def _gpu_of(self, job: Job) -> HostGPU:
         return self.gpus[job.device]

@@ -84,24 +84,31 @@ def scenario_summary(
     contract).  All are defaulted kwargs, so they leave the config-hash
     keys of all existing jobs untouched — an explicit ``backend`` enters
     the job key, distinguishing cached results per backend.
-    """
-    from ..core.scenarios import run_sigma_vp
 
-    result = run_sigma_vp(
-        _spec(app, scale_elements, scale_iterations),
+    The parameter list is the keyword surface of
+    :class:`repro.api.RunRequest`; the body is just its
+    :func:`repro.api.scenario` projection, so the farm, the CLI and the
+    ``repro serve`` daemon all execute one code path.
+    """
+    from ..api import RunRequest, _coerce_shards, scenario
+
+    request = RunRequest(
+        app=app,
         n_vps=n_vps,
         interleaving=interleaving,
         coalescing=coalescing,
-        transport=resolve_transport(transport),
+        transport=transport,
         max_batch=max_batch,
         n_host_gpus=n_host_gpus,
+        scale_elements=scale_elements,
+        scale_iterations=scale_iterations,
         functional=functional,
         policy=policy,
         placement=placement,
-        shards=shards,
+        shards=_coerce_shards(shards),
         backend=backend,
     )
-    return result.summary()
+    return scenario(request).summary()
 
 
 def scenario_shard_stats(

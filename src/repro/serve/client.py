@@ -1,0 +1,201 @@
+"""Client for a running ``repro serve`` daemon.
+
+A thin, dependency-free wrapper over the NDJSON socket protocol: one
+request frame out, one (or, for ``watch``, many) frames back.  Error
+frames surface as :class:`ServeError` with the daemon's machine-readable
+``code`` attached, so callers branch on ``exc.code`` rather than parsing
+messages.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..api import RunRequest
+from .protocol import MAX_FRAME_BYTES, JobState, decode_frame, encode_frame
+
+__all__ = ["ServeClient", "ServeError"]
+
+#: Default socket timeout for request/response ops, in seconds.
+_DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServeError(Exception):
+    """An error frame from the daemon, with its structured code."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        job_id: Optional[str] = None,
+        frame: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.job_id = job_id
+        self.frame = frame or {}
+
+
+class ServeClient:
+    """One connection to the daemon (usable as a context manager)."""
+
+    def __init__(
+        self, sock: socket.socket, socket_path: Path
+    ) -> None:
+        self._sock = sock
+        self._buffer = b""
+        self.socket_path = socket_path
+
+    @classmethod
+    def connect(
+        cls,
+        socket_path: Optional[Union[str, Path]] = None,
+        timeout: float = _DEFAULT_TIMEOUT_S,
+    ) -> "ServeClient":
+        """Connect to the daemon's Unix socket (explicit > env > default)."""
+        from . import default_socket_path
+
+        path = default_socket_path(socket_path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(path))
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                "no-daemon",
+                f"cannot reach a repro serve daemon at {path}: {exc}",
+            ) from None
+        return cls(sock, path)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- framing -----------------------------------------------------------
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _recv_frame(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Read one newline-terminated frame off the socket."""
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_FRAME_BYTES:
+                raise ServeError(
+                    "frame-too-large",
+                    "daemon sent an over-long frame; protocol desync",
+                )
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServeError(
+                    "connection-closed",
+                    "daemon closed the connection mid-response",
+                )
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_frame(line)
+
+    def _raise_on_error(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if frame.get("ok"):
+            return frame
+        error = frame.get("error") or {}
+        raise ServeError(
+            str(error.get("code", "unknown-error")),
+            str(error.get("message", "daemon reported an error")),
+            job_id=frame.get("job_id"),
+            frame=frame,
+        )
+
+    def request(
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """One op round-trip; returns the raw frame (no error raising)."""
+        self._send({"op": op, **fields})
+        return self._recv_frame(timeout=timeout)
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._raise_on_error(self.request("ping"))
+
+    def submit(self, request: RunRequest) -> Dict[str, Any]:
+        """Submit one request; returns the accepted job record.
+
+        Raises :class:`ServeError` with code ``queue-full`` /
+        ``quota-exceeded`` on admission rejection, ``bad-schema`` /
+        ``bad-field`` / ``bad-value`` on validation rejection.
+        """
+        frame = self.request("submit", request=request.to_dict())
+        return self._raise_on_error(frame)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._raise_on_error(self.request("status", job_id=job_id))
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._raise_on_error(self.request("result", job_id=job_id))
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its final record.
+
+        A ``timeout`` bounds the daemon-side wait (error frame
+        ``wait-timeout`` past it); ``None`` waits indefinitely — the
+        socket deadline is lifted for the duration of this call.
+        """
+        self._send({"op": "wait", "job_id": job_id, "timeout": timeout})
+        socket_budget = None if timeout is None else timeout + 5.0
+        return self._raise_on_error(self._recv_frame(timeout=socket_budget))
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield one record per state transition until terminal.
+
+        The final yielded record is the terminal one; the stream then
+        ends (the daemon closes it with a ``watch-end`` frame that is
+        consumed here, not yielded).
+        """
+        self._send({"op": "watch", "job_id": job_id})
+        while True:
+            frame = self._raise_on_error(self._recv_frame(timeout=None))
+            if frame.get("event") == "watch-end":
+                return
+            yield frame
+            if JobState(frame["state"]).terminal:
+                # Drain the closing frame so the connection stays usable.
+                closing = self._raise_on_error(self._recv_frame())
+                assert closing.get("event") == "watch-end"
+                return
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job (idempotent until terminal)."""
+        return self._raise_on_error(self.request("cancel", job_id=job_id))
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        fields: Dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        frame = self._raise_on_error(self.request("jobs", **fields))
+        return list(frame.get("jobs", []))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._raise_on_error(self.request("stats"))
+
+    def shutdown(self, drain: bool = False) -> Dict[str, Any]:
+        """Ask the daemon to stop (``drain`` finishes running jobs)."""
+        return self._raise_on_error(self.request("shutdown", drain=drain))

@@ -13,6 +13,16 @@ import pytest
 from repro import cache as repro_cache
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _disk_cache_off_session():
+    # Higher-scoped fixtures run *before* function-scoped ones, so a
+    # module-scoped fixture that executes jobs would otherwise see the
+    # disk layer still on and read artifacts from earlier runs.
+    previous = repro_cache.set_disk_enabled(False)
+    yield
+    repro_cache.set_disk_enabled(previous)
+
+
 @pytest.fixture(autouse=True)
 def _disk_cache_off():
     previous = repro_cache.set_disk_enabled(False)

@@ -261,3 +261,66 @@ def test_hold_deadline_none_for_unrelated_job():
     stray = Job(vp="z", seq=0, kind=JobKind.MALLOC, completion=env.event(), size=8)
     queue.put(stray)
     assert coalescer.hold_deadline(queue, stray) is None
+
+
+# -- in-flight member transfers --------------------------------------------------
+
+
+def test_merged_kernel_waits_for_inflight_h2d():
+    """A member whose H2D is already on a copy engine has no queued copy
+    left, so the merged kernel needs an explicit dependency on it."""
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    a_jobs = _triple_jobs(env, "a")
+    inflight_h2d = a_jobs.pop(0)  # dispatched: never enters the queue
+    for job in a_jobs:
+        queue.put(job)
+    for job in _triple_jobs(env, "b"):
+        queue.put(job)
+    coalescer.inflight_of = lambda vp: inflight_h2d if vp == "a" else None
+    merged = coalescer.coalesce_pass(queue)
+    kernel_job = next(j for j in merged if j.is_kernel)
+    assert inflight_h2d.completion in kernel_job.depends_on
+
+
+def test_merged_kernel_ignores_inflight_d2h():
+    """An in-flight D2H reads buffers the relayout already snapshotted;
+    depending on it would only serialize unrelated pipelining."""
+    env, gpu, handles, coalescer = _setup(target_batch=2)
+    queue = JobQueue(env)
+    inflight_d2h = Job(vp="a", seq=99, kind=JobKind.COPY_D2H,
+                       completion=env.event(), nbytes=4096)
+    for vp in ("a", "b"):
+        for job in _triple_jobs(env, vp):
+            queue.put(job)
+    coalescer.inflight_of = lambda vp: inflight_d2h if vp == "a" else None
+    merged = coalescer.coalesce_pass(queue)
+    kernel_job = next(j for j in merged if j.is_kernel)
+    assert inflight_d2h.completion not in (kernel_job.depends_on or [])
+
+
+@pytest.mark.parametrize("n_vps", [2, 3, 4])
+def test_functional_small_vp_counts_complete(n_vps):
+    """Regression: with 2 VPs the merged kernel used to race a member's
+    in-flight H2D and sweep unwritten buffers, crashing the functional
+    payload sum with a ``None`` element."""
+    from repro.core.scenarios import run_sigma_vp
+    from repro.workloads import get_workload
+
+    result = run_sigma_vp(
+        get_workload("vectorAdd"), n_vps=n_vps, functional=True
+    )
+    assert result.total_ms > 0
+    assert len(result.per_instance_ms) == n_vps
+
+
+def test_functional_and_timing_totals_agree():
+    """The functional registry must not perturb simulated time."""
+    from repro.core.scenarios import run_sigma_vp
+    from repro.workloads import get_workload
+
+    timing = run_sigma_vp(get_workload("vectorAdd"), n_vps=2)
+    functional = run_sigma_vp(
+        get_workload("vectorAdd"), n_vps=2, functional=True
+    )
+    assert functional.total_ms == pytest.approx(timing.total_ms)
